@@ -1,0 +1,54 @@
+package main
+
+import (
+	"strings"
+	"testing"
+)
+
+func TestFiveTableDeadlocks(t *testing.T) {
+	var out strings.Builder
+	if err := run([]string{"-n", "5"}, &out); err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(out.String(), "DEADLOCK") {
+		t.Errorf("five-table should deadlock:\n%s", out.String())
+	}
+}
+
+func TestFlippedSixWorks(t *testing.T) {
+	var out strings.Builder
+	if err := run([]string{"-n", "6", "-flipped", "-meals", "2", "-rounds", "200"}, &out); err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(out.String(), "round-robin meals: [2 2 2 2 2 2]") {
+		t.Errorf("flipped table should feed everyone:\n%s", out.String())
+	}
+}
+
+func TestFlippedFourChecked(t *testing.T) {
+	var out strings.Builder
+	if err := run([]string{"-n", "4", "-flipped", "-check", "-max-states", "60000"}, &out); err != nil {
+		t.Fatal(err)
+	}
+	got := out.String()
+	if !strings.Contains(got, "exclusion holds") || !strings.Contains(got, "no deadlock found") {
+		t.Errorf("model check output wrong:\n%s", got)
+	}
+}
+
+func TestRandomized(t *testing.T) {
+	var out strings.Builder
+	if err := run([]string{"-n", "5", "-random", "-rounds", "500"}, &out); err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(out.String(), "Lehmann-Rabin") {
+		t.Errorf("randomized output wrong:\n%s", out.String())
+	}
+}
+
+func TestBadTable(t *testing.T) {
+	var out strings.Builder
+	if err := run([]string{"-n", "5", "-flipped"}, &out); err == nil {
+		t.Error("odd flipped table should fail")
+	}
+}

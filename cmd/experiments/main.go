@@ -1,0 +1,76 @@
+// Command experiments regenerates every table of EXPERIMENTS.md: one
+// experiment per evaluation artifact of the paper (figures 1–5, Theorems
+// 1/5/10/11, Algorithms 2–4, the section 9 hierarchy, the section 8
+// randomization and encapsulated-asymmetry claims, and the section 6
+// message-passing/CSP results).
+//
+// Usage:
+//
+//	experiments            # run everything
+//	experiments -only E4   # run one experiment
+package main
+
+import (
+	"flag"
+	"fmt"
+	"io"
+	"os"
+
+	"simsym/internal/experiments"
+)
+
+// registry lists the experiments in order with their default parameters.
+var registry = []struct {
+	id  string
+	run func() (*experiments.Table, error)
+}{
+	{"E1", experiments.E1Fig1},
+	{"E2", func() (*experiments.Table, error) { return experiments.E2Alibi(5) }},
+	{"E3", experiments.E3Mimic},
+	{"E4", experiments.E4DP5},
+	{"E5", func() (*experiments.Table, error) { return experiments.E5DP6(60_000) }},
+	{"E6", func() (*experiments.Table, error) {
+		return experiments.E6Scaling([]int{64, 256, 1024, 4096, 16384, 65536}, 1024)
+	}},
+	{"E7", experiments.E7FLP},
+	{"E8", experiments.E8Hierarchy},
+	{"E9", func() (*experiments.Table, error) { return experiments.E9Randomized(200) }},
+	{"E10", experiments.E10Orbits},
+	{"E11", func() (*experiments.Table, error) { return experiments.E11EliteL(5) }},
+	{"E12", experiments.E12MsgPass},
+	{"E13", experiments.E13Encapsulated},
+	{"E14", experiments.E14CSP},
+	{"E15", func() (*experiments.Table, error) { return experiments.E15AlgorithmS(5) }},
+}
+
+func main() {
+	if err := run(os.Args[1:], os.Stdout); err != nil {
+		fmt.Fprintln(os.Stderr, "experiments:", err)
+		os.Exit(1)
+	}
+}
+
+func run(args []string, out io.Writer) error {
+	fs := flag.NewFlagSet("experiments", flag.ContinueOnError)
+	only := fs.String("only", "", "run a single experiment (E1..E15)")
+	if err := fs.Parse(args); err != nil {
+		return err
+	}
+
+	printed := 0
+	for _, entry := range registry {
+		if *only != "" && entry.id != *only {
+			continue
+		}
+		tbl, err := entry.run()
+		if err != nil {
+			return fmt.Errorf("%s: %w", entry.id, err)
+		}
+		fmt.Fprintln(out, tbl.Render())
+		printed++
+	}
+	if printed == 0 {
+		return fmt.Errorf("unknown experiment %q", *only)
+	}
+	return nil
+}

@@ -1,0 +1,33 @@
+package main
+
+import (
+	"strings"
+	"testing"
+)
+
+func TestRunSingleExperiment(t *testing.T) {
+	var out strings.Builder
+	if err := run([]string{"-only", "E7"}, &out); err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(out.String(), "FLP adversary") {
+		t.Errorf("missing E7 table:\n%s", out.String())
+	}
+	if strings.Contains(out.String(), "E1:") {
+		t.Error("-only should filter other experiments")
+	}
+}
+
+func TestRunUnknownExperiment(t *testing.T) {
+	var out strings.Builder
+	if err := run([]string{"-only", "E99"}, &out); err == nil {
+		t.Error("unknown experiment should fail")
+	}
+}
+
+func TestRunBadFlag(t *testing.T) {
+	var out strings.Builder
+	if err := run([]string{"-bogus"}, &out); err == nil {
+		t.Error("bad flag should fail")
+	}
+}

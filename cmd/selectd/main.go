@@ -1,0 +1,176 @@
+// Command selectd decides the selection problem for a system under a
+// chosen model and, when solvable, generates the paper's SELECT program
+// (Algorithm 2 in Q, Algorithm 4 in L), runs it under fair schedules,
+// and reports the winner.
+//
+// Usage:
+//
+//	selectd -gen 'fig2' -instr q
+//	selectd -spec sys.txt -instr l -sched fair -runs 10 -verify
+package main
+
+import (
+	"flag"
+	"fmt"
+	"io"
+	"math/rand"
+	"os"
+
+	"simsym/internal/machine"
+	"simsym/internal/mc"
+	"simsym/internal/sched"
+	"simsym/internal/selection"
+	"simsym/internal/sysdsl"
+	"simsym/internal/system"
+)
+
+func main() {
+	if err := run(os.Args[1:], os.Stdout); err != nil {
+		fmt.Fprintln(os.Stderr, "selectd:", err)
+		os.Exit(1)
+	}
+}
+
+func run(args []string, out io.Writer) error {
+	fs := flag.NewFlagSet("selectd", flag.ContinueOnError)
+	spec := fs.String("spec", "", "system description file (sysdsl format, - for stdin)")
+	gen := fs.String("gen", "", "generator directive, e.g. 'fig2'")
+	instr := fs.String("instr", "q", "instruction set: s, l, or q")
+	schedFlag := fs.String("sched", "fair", "schedule class: general, fair, or bounded")
+	runs := fs.Int("runs", 5, "fair executions of the generated program")
+	verify := fs.Bool("verify", false, "model-check Uniqueness and Stability over all schedules")
+	maxStates := fs.Int("max-states", 300_000, "model-checker state budget")
+	if err := fs.Parse(args); err != nil {
+		return err
+	}
+
+	sys, err := loadSystem(*spec, *gen)
+	if err != nil {
+		return err
+	}
+	is, err := parseInstr(*instr)
+	if err != nil {
+		return err
+	}
+	sc, err := parseSched(*schedFlag)
+	if err != nil {
+		return err
+	}
+
+	d, err := selection.Decide(sys, is, sc)
+	if err != nil {
+		return err
+	}
+	fmt.Fprintf(out, "model: %v / %v\n", is, sc)
+	fmt.Fprintf(out, "solvable: %v\n", d.Solvable)
+	fmt.Fprintf(out, "reason: %s\n", d.Reason)
+	if len(d.UniqueProcs) > 0 {
+		fmt.Fprintf(out, "distinguished processors: %v\n", d.UniqueProcs)
+	}
+	if len(d.Elite) > 0 {
+		fmt.Fprintf(out, "ELITE: %v over %d versions\n", d.Elite, d.NumVersions)
+	}
+	if !d.Solvable || (is != system.InstrQ && is != system.InstrL) {
+		return nil
+	}
+
+	prog, _, err := selection.Select(sys, is, sc)
+	if err != nil {
+		return err
+	}
+	for seed := 0; seed < *runs; seed++ {
+		m, err := machine.New(sys, is, prog)
+		if err != nil {
+			return err
+		}
+		rng := rand.New(rand.NewSource(int64(seed)))
+		rounds := 0
+		for !m.AllHalted() && rounds < 5000 {
+			round, err := sched.ShuffledRounds(rng, sys.NumProcs(), 1)
+			if err != nil {
+				return err
+			}
+			if _, err := m.Run(round); err != nil {
+				return err
+			}
+			rounds++
+		}
+		sel := m.SelectedProcs()
+		winner := "none"
+		if len(sel) == 1 {
+			winner = sys.ProcIDs[sel[0]]
+		} else if len(sel) > 1 {
+			winner = fmt.Sprintf("VIOLATION %v", sel)
+		}
+		fmt.Fprintf(out, "run %d: winner %s after %d rounds\n", seed, winner, rounds)
+	}
+
+	if *verify {
+		res, err := mc.Check(func() (*machine.Machine, error) {
+			return machine.New(sys, is, prog)
+		}, mc.Options{
+			MaxStates:  *maxStates,
+			StatePreds: []mc.StatePredicate{mc.UniquenessPred},
+			TransPreds: []mc.TransitionPredicate{mc.StabilityPred},
+		})
+		if err != nil {
+			fmt.Fprintf(out, "verification: inconclusive (%v)\n", err)
+			return nil
+		}
+		if res.Violation != nil {
+			fmt.Fprintf(out, "verification: VIOLATION %s (schedule %v)\n",
+				res.Violation.Reason, res.Violation.Schedule)
+		} else {
+			fmt.Fprintf(out, "verification: safe over %d states (complete=%v)\n",
+				res.StatesExplored, res.Complete)
+		}
+	}
+	return nil
+}
+
+func parseInstr(s string) (system.InstrSet, error) {
+	switch s {
+	case "s":
+		return system.InstrS, nil
+	case "l":
+		return system.InstrL, nil
+	case "q":
+		return system.InstrQ, nil
+	default:
+		return 0, fmt.Errorf("unknown instruction set %q (want s, l, or q)", s)
+	}
+}
+
+func parseSched(s string) (system.ScheduleClass, error) {
+	switch s {
+	case "general":
+		return system.SchedGeneral, nil
+	case "fair":
+		return system.SchedFair, nil
+	case "bounded":
+		return system.SchedBoundedFair, nil
+	default:
+		return 0, fmt.Errorf("unknown schedule class %q (want general, fair, or bounded)", s)
+	}
+}
+
+func loadSystem(spec, gen string) (*system.System, error) {
+	switch {
+	case gen != "":
+		return sysdsl.Parse("gen " + gen)
+	case spec == "-":
+		data, err := io.ReadAll(os.Stdin)
+		if err != nil {
+			return nil, fmt.Errorf("reading stdin: %w", err)
+		}
+		return sysdsl.Parse(string(data))
+	case spec != "":
+		data, err := os.ReadFile(spec)
+		if err != nil {
+			return nil, fmt.Errorf("reading spec: %w", err)
+		}
+		return sysdsl.Parse(string(data))
+	default:
+		return nil, fmt.Errorf("need -spec or -gen")
+	}
+}

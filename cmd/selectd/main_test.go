@@ -1,0 +1,62 @@
+package main
+
+import (
+	"strings"
+	"testing"
+)
+
+func TestDecideAndRunQ(t *testing.T) {
+	var out strings.Builder
+	if err := run([]string{"-gen", "fig2", "-instr", "q", "-runs", "2"}, &out); err != nil {
+		t.Fatal(err)
+	}
+	got := out.String()
+	for _, want := range []string{"solvable: true", "winner p3"} {
+		if !strings.Contains(got, want) {
+			t.Errorf("output missing %q:\n%s", want, got)
+		}
+	}
+}
+
+func TestDecideUnsolvable(t *testing.T) {
+	var out strings.Builder
+	if err := run([]string{"-gen", "ring 4", "-instr", "l"}, &out); err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(out.String(), "solvable: false") {
+		t.Errorf("ring should be unsolvable:\n%s", out.String())
+	}
+}
+
+func TestDecideGeneralSchedules(t *testing.T) {
+	var out strings.Builder
+	if err := run([]string{"-gen", "fig2", "-instr", "q", "-sched", "general"}, &out); err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(out.String(), "solvable: false") {
+		t.Errorf("general schedules should be unsolvable:\n%s", out.String())
+	}
+}
+
+func TestVerifyFlagOnL(t *testing.T) {
+	var out strings.Builder
+	if err := run([]string{"-gen", "fig1", "-instr", "l", "-runs", "1", "-verify", "-max-states", "600000"}, &out); err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(out.String(), "verification: safe") {
+		t.Errorf("verification should pass within budget:\n%s", out.String())
+	}
+}
+
+func TestArgErrors(t *testing.T) {
+	var out strings.Builder
+	if err := run([]string{"-gen", "fig1", "-instr", "zzz"}, &out); err == nil {
+		t.Error("bad instr should fail")
+	}
+	if err := run([]string{"-gen", "fig1", "-sched", "zzz"}, &out); err == nil {
+		t.Error("bad sched should fail")
+	}
+	if err := run(nil, &out); err == nil {
+		t.Error("missing system should fail")
+	}
+}

@@ -1,0 +1,58 @@
+package main
+
+import (
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+)
+
+func TestRunWithGenerator(t *testing.T) {
+	var out strings.Builder
+	if err := run([]string{"-gen", "fig2"}, &out); err != nil {
+		t.Fatal(err)
+	}
+	got := out.String()
+	for _, want := range []string{"3 processors", "similarity labeling", "{p1,p2}", "uniquely labeled processors: [2]"} {
+		if !strings.Contains(got, want) {
+			t.Errorf("output missing %q:\n%s", want, got)
+		}
+	}
+}
+
+func TestRunWithSpecFileAndDOT(t *testing.T) {
+	dir := t.TempDir()
+	spec := filepath.Join(dir, "sys.txt")
+	dot := filepath.Join(dir, "out.dot")
+	src := "names n\nvar v\nproc p n=v\nproc q n=v\n"
+	if err := os.WriteFile(spec, []byte(src), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	var out strings.Builder
+	if err := run([]string{"-spec", spec, "-rule", "set", "-dot", dot}, &out); err != nil {
+		t.Fatal(err)
+	}
+	data, err := os.ReadFile(dot)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(string(data), "graph") {
+		t.Error("DOT file missing graph")
+	}
+}
+
+func TestRunErrors(t *testing.T) {
+	var out strings.Builder
+	if err := run(nil, &out); err == nil {
+		t.Error("missing -spec/-gen should fail")
+	}
+	if err := run([]string{"-gen", "fig1", "-rule", "bogus"}, &out); err == nil {
+		t.Error("bad rule should fail")
+	}
+	if err := run([]string{"-spec", "/nonexistent/x"}, &out); err == nil {
+		t.Error("missing file should fail")
+	}
+	if err := run([]string{"-gen", "nosuch"}, &out); err == nil {
+		t.Error("bad generator should fail")
+	}
+}

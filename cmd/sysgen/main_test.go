@@ -1,0 +1,46 @@
+package main
+
+import (
+	"strings"
+	"testing"
+)
+
+func TestDSLOutputRoundTrips(t *testing.T) {
+	var out strings.Builder
+	if err := run([]string{"-gen", "dining 5", "-mark", "2"}, &out); err != nil {
+		t.Fatal(err)
+	}
+	got := out.String()
+	if !strings.Contains(got, "proc phil2 init=leader") {
+		t.Errorf("mark missing:\n%s", got)
+	}
+	if !strings.Contains(got, "names left right") {
+		t.Errorf("names line missing:\n%s", got)
+	}
+}
+
+func TestDOTOutput(t *testing.T) {
+	var out strings.Builder
+	if err := run([]string{"-gen", "fig3", "-format", "dot"}, &out); err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(out.String(), "graph \"fig3\"") {
+		t.Errorf("dot output wrong:\n%s", out.String())
+	}
+}
+
+func TestErrors(t *testing.T) {
+	var out strings.Builder
+	if err := run(nil, &out); err == nil {
+		t.Error("missing -gen should fail")
+	}
+	if err := run([]string{"-gen", "fig1", "-format", "xml"}, &out); err == nil {
+		t.Error("bad format should fail")
+	}
+	if err := run([]string{"-gen", "fig1", "-mark", "9"}, &out); err == nil {
+		t.Error("mark out of range should fail")
+	}
+	if err := run([]string{"-gen", "nosuch"}, &out); err == nil {
+		t.Error("bad generator should fail")
+	}
+}

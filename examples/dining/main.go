@@ -1,0 +1,103 @@
+// Dining philosophers end to end: the paper's section 7.
+//
+// Five philosophers (Figure 4) are graph-symmetric, five is prime, so by
+// Theorem 11 they are all similar even with locks — and the uniform
+// fork-grabbing program deadlocks under round-robin. Six philosophers
+// seated alternately (Figure 5) split the forks into shared-left and
+// shared-right classes; the very same program becomes deadlock-free,
+// which the model checker verifies exhaustively on the 4-table and
+// boundedly on the 6-table.
+package main
+
+import (
+	"fmt"
+	"log"
+
+	"simsym"
+)
+
+func main() {
+	if err := run(); err != nil {
+		log.Fatal(err)
+	}
+}
+
+func run() error {
+	// --- Figure 4: the impossible table ---
+	five, err := simsym.Dining(5)
+	if err != nil {
+		return err
+	}
+	orb, err := simsym.ComputeOrbits(five)
+	if err != nil {
+		return err
+	}
+	fmt.Printf("Figure 4 (5 philosophers): |Aut|=%d, philosopher orbits=%d\n",
+		orb.GroupOrder, len(orb.ProcClasses()))
+	d, err := simsym.Decide(five, simsym.InstrL, simsym.SchedFair)
+	if err != nil {
+		return err
+	}
+	fmt.Println("  selection in L:", d.Solvable, "—", d.Reason)
+
+	prog, err := simsym.DiningProgram("left", "right", 1)
+	if err != nil {
+		return err
+	}
+	m, err := simsym.NewMachine(five, simsym.InstrL, prog)
+	if err != nil {
+		return err
+	}
+	rr, err := simsym.RoundRobin(5, 40)
+	if err != nil {
+		return err
+	}
+	if _, err := m.Run(rr); err != nil {
+		return err
+	}
+	fmt.Println("  after 40 round-robin rounds, machine halted:", m.AllHalted(),
+		"(false = the classic deadlock: everyone holds one fork)")
+
+	// --- Figure 5: the flipped table ---
+	six, err := simsym.DiningFlipped(6)
+	if err != nil {
+		return err
+	}
+	orb6, err := simsym.ComputeOrbits(six)
+	if err != nil {
+		return err
+	}
+	fmt.Printf("\nFigure 5 (6 flipped): |Aut|=%d, philosopher orbits=%d, fork orbits=%d\n",
+		orb6.GroupOrder, len(orb6.ProcClasses()), len(orb6.VarClasses()))
+
+	rep, err := simsym.CheckDining(six, prog, 60_000)
+	if err != nil {
+		return err
+	}
+	fmt.Printf("  model check (%d states): exclusion violated=%v, deadlock=%v\n",
+		rep.StatesExplored, rep.ExclusionViolated != nil, rep.Deadlocked != nil)
+
+	meals, err := simsym.DiningProgram("left", "right", 3)
+	if err != nil {
+		return err
+	}
+	m6, err := simsym.NewMachine(six, simsym.InstrL, meals)
+	if err != nil {
+		return err
+	}
+	rr6, err := simsym.RoundRobin(6, 500)
+	if err != nil {
+		return err
+	}
+	if _, err := m6.Run(rr6); err != nil {
+		return err
+	}
+	counts := make([]int, 6)
+	for p := range counts {
+		if v, ok := m6.Local(p, "meals"); ok {
+			counts[p], _ = v.(int)
+		}
+	}
+	fmt.Println("  meals per philosopher under round-robin:", counts)
+	return nil
+}

@@ -1,0 +1,3 @@
+module simsym
+
+go 1.22

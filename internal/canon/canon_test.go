@@ -1,0 +1,263 @@
+package canon
+
+import (
+	"strings"
+	"testing"
+	"testing/quick"
+)
+
+func TestStringScalars(t *testing.T) {
+	tests := []struct {
+		name string
+		in   any
+		want string
+	}{
+		{"nil", nil, "nil"},
+		{"true", true, "b:1"},
+		{"false", false, "b:0"},
+		{"int", 42, "i:42"},
+		{"negative int", -7, "i:-7"},
+		{"int64", int64(42), "i:42"},
+		{"uint", uint(3), "u:3"},
+		{"string", "hi", "s:2:hi"},
+		{"empty string", "", "s:0:"},
+	}
+	for _, tt := range tests {
+		t.Run(tt.name, func(t *testing.T) {
+			if got := String(tt.in); got != tt.want {
+				t.Errorf("String(%v) = %q, want %q", tt.in, got, tt.want)
+			}
+		})
+	}
+}
+
+func TestTypeTagsPreventCrossTypeCollisions(t *testing.T) {
+	pairs := [][2]any{
+		{1, "1"},
+		{1, uint(1)},
+		{true, 1},
+		{[]any{1}, 1},
+		{"", nil},
+		{[]any{}, map[string]any{}},
+	}
+	for _, p := range pairs {
+		if String(p[0]) == String(p[1]) {
+			t.Errorf("collision: %#v and %#v both encode to %q", p[0], p[1], String(p[0]))
+		}
+	}
+}
+
+func TestStringDelimiterInjection(t *testing.T) {
+	// Two structurally different values whose naive concatenation would
+	// collide must still differ thanks to length prefixes.
+	a := []any{"a,b", "c"}
+	b := []any{"a", "b,c"}
+	if String(a) == String(b) {
+		t.Fatalf("delimiter injection collision: %q", String(a))
+	}
+}
+
+func TestMapsEncodeSorted(t *testing.T) {
+	m1 := map[string]int{"a": 1, "b": 2, "c": 3}
+	m2 := map[string]int{"c": 3, "a": 1, "b": 2}
+	if String(m1) != String(m2) {
+		t.Errorf("map encodings differ: %q vs %q", String(m1), String(m2))
+	}
+	if !strings.Contains(String(m1), "m{") {
+		t.Errorf("map encoding missing tag: %q", String(m1))
+	}
+}
+
+func TestMultisetOrderIndependence(t *testing.T) {
+	a := Multiset{1, 2, 2, "x"}
+	b := Multiset{"x", 2, 1, 2}
+	c := Multiset{1, 2, "x"}
+	if String(a) != String(b) {
+		t.Errorf("multiset not order independent: %q vs %q", String(a), String(b))
+	}
+	if String(a) == String(c) {
+		t.Errorf("multiset lost multiplicity: %q", String(a))
+	}
+}
+
+func TestNestedStructures(t *testing.T) {
+	v1 := map[string]any{
+		"pec":  Multiset{"l1", "l2"},
+		"vec":  []any{Multiset{"a"}, Multiset{}},
+		"done": false,
+	}
+	v2 := map[string]any{
+		"done": false,
+		"vec":  []any{Multiset{"a"}, Multiset{}},
+		"pec":  Multiset{"l2", "l1"},
+	}
+	if !Equal(v1, v2) {
+		t.Errorf("nested equal values got different encodings:\n%q\n%q", String(v1), String(v2))
+	}
+}
+
+type point struct {
+	X, Y int
+}
+
+func TestStructEncoding(t *testing.T) {
+	if String(point{1, 2}) == String(point{2, 1}) {
+		t.Error("struct field order collision")
+	}
+	if String(point{1, 2}) != String(point{1, 2}) {
+		t.Error("struct encoding not deterministic")
+	}
+}
+
+type custom string
+
+func (c custom) CanonicalString() string { return "custom:" + string(c) }
+
+func TestCanonicalInterface(t *testing.T) {
+	got := String(custom("v"))
+	if got != "c{custom:v}" {
+		t.Errorf("String(custom) = %q", got)
+	}
+}
+
+func TestPointerDereference(t *testing.T) {
+	x := 5
+	if String(&x) != String(5) {
+		t.Errorf("pointer should encode as pointee: %q vs %q", String(&x), String(5))
+	}
+	var p *int
+	if String(p) != "nil" {
+		t.Errorf("nil pointer = %q, want nil", String(p))
+	}
+}
+
+func TestUnsupportedKindsPoisoned(t *testing.T) {
+	if !strings.Contains(String(1.5), "!unsupported") {
+		t.Errorf("float should be poisoned, got %q", String(1.5))
+	}
+}
+
+func TestEqualPropertyInts(t *testing.T) {
+	f := func(a, b int) bool {
+		return Equal(a, b) == (a == b)
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestEqualPropertyStrings(t *testing.T) {
+	f := func(a, b string) bool {
+		return Equal(a, b) == (a == b)
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestEqualPropertyStringSlices(t *testing.T) {
+	f := func(a, b []string) bool {
+		same := len(a) == len(b)
+		if same {
+			for i := range a {
+				if a[i] != b[i] {
+					same = false
+					break
+				}
+			}
+		}
+		return Equal(a, b) == same
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestEqualPropertyMaps(t *testing.T) {
+	f := func(a, b map[string]int) bool {
+		same := len(a) == len(b)
+		if same {
+			for k, v := range a {
+				if bv, ok := b[k]; !ok || bv != v {
+					same = false
+					break
+				}
+			}
+		}
+		return Equal(a, b) == same
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestHashConsistentWithString(t *testing.T) {
+	f := func(a []string) bool {
+		// Deterministic, and equal for structurally equal values.
+		cp := append([]string(nil), a...)
+		return Hash(a) == Hash(a) && Hash(a) == Hash(cp)
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+	if Hash("x") == Hash("y") {
+		t.Error("distinct tiny values should hash apart")
+	}
+}
+
+func BenchmarkStringNestedState(b *testing.B) {
+	state := map[string]any{
+		"pc":     12,
+		"pec":    Multiset{"l1", "l2", "l3"},
+		"vec":    []any{Multiset{"a", "b"}, Multiset{"c"}},
+		"locals": map[string]int{"count_left": 2, "count_right": 1},
+	}
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		_ = String(state)
+	}
+}
+
+func TestReflectEdgeCases(t *testing.T) {
+	// Arrays, nested pointers, interface nils, and typed ints go through
+	// the reflection path.
+	type wrap struct {
+		A [2]int
+		P *string
+	}
+	s := "v"
+	if String(wrap{A: [2]int{1, 2}, P: &s}) == String(wrap{A: [2]int{2, 1}, P: &s}) {
+		t.Error("array order collision")
+	}
+	if String(wrap{P: nil}) == String(wrap{P: &s}) {
+		t.Error("nil pointer field collision")
+	}
+	type myInt int32
+	if String(myInt(7)) != String(int32(7)) {
+		t.Error("typed int should encode as its kind")
+	}
+	type myStr string
+	if String(myStr("a")) != String("a") {
+		t.Error("typed string should encode as its kind")
+	}
+	var iface any
+	if String([]any{iface}) != String([]any{nil}) {
+		t.Error("nil interface should encode as nil")
+	}
+	type unexported struct {
+		X int
+		y int
+	}
+	a := unexported{X: 1, y: 2}
+	b := unexported{X: 1, y: 3}
+	if String(a) != String(b) {
+		t.Error("unexported fields must not affect encoding")
+	}
+	if String(map[int]string{1: "a", 2: "b"}) != String(map[int]string{2: "b", 1: "a"}) {
+		t.Error("int-keyed maps should encode sorted")
+	}
+	var u uint8 = 3
+	if String([]uint8{u}) == "" {
+		t.Error("byte slices should encode")
+	}
+}

@@ -1,0 +1,549 @@
+// Package core implements similarity labelings, the central contribution
+// of Johnson & Schneider (PODC 1985).
+//
+// A schedule causes nodes to "behave similarly" if it makes them have the
+// same state at the same time infinitely often, for any program; nodes are
+// similar if some schedule causes them to behave similarly. The paper
+// computes the similarity labeling Θ — the coarsest labeling in which
+// same-labeled nodes are similar — by partition refinement over node
+// environments (Algorithm 1, Theorems 4 and 5).
+//
+// The environment rule depends on the instruction set:
+//
+//   - RuleQ (instruction set Q, and bounded-fair L via relabeled
+//     families): a variable's environment counts, for every name n and
+//     every processor label α, how many n-neighbors labeled α it has —
+//     peek returns subvalue multisets, so neighbor counts are
+//     observable.
+//   - RuleSetS (instruction set S): writes overwrite, so only the set of
+//     neighbor labels is observable; a variable's environment records,
+//     per name, the set of labels of its n-neighbors (section 6,
+//     "Systems in S").
+//
+// Processor environments are the same under both rules: the label of the
+// n-neighbor for each name n (condition (2) of section 4), plus the
+// initial state (condition (1)).
+package core
+
+import (
+	"errors"
+	"fmt"
+	"sort"
+	"strings"
+
+	"simsym/internal/partition"
+	"simsym/internal/system"
+)
+
+// Rule selects the environment rule used during refinement.
+type Rule int
+
+// Environment rules.
+const (
+	// RuleQ uses multiset (counted) variable environments, matching
+	// instruction set Q.
+	RuleQ Rule = iota + 1
+	// RuleSetS uses set-based variable environments, matching
+	// instruction set S (both fair and bounded-fair; the two differ in
+	// the decision layer, not the labeling).
+	RuleSetS
+)
+
+// String implements fmt.Stringer.
+func (r Rule) String() string {
+	switch r {
+	case RuleQ:
+		return "Q"
+	case RuleSetS:
+		return "setS"
+	default:
+		return fmt.Sprintf("Rule(%d)", int(r))
+	}
+}
+
+// Sentinel errors.
+var (
+	ErrBadRule      = errors.New("core: unknown environment rule")
+	ErrSystemShape  = errors.New("core: invalid system")
+	ErrLabelingSize = errors.New("core: labeling does not match system")
+)
+
+// Labeling is a similarity (or candidate) labeling of a system's nodes.
+// Processor p has label ProcLabels[p]; variable v has label VarLabels[v].
+// Labels of processors and variables never coincide semantically, but the
+// integer spaces may overlap only across kinds, never within one.
+type Labeling struct {
+	Sys        *system.System
+	ProcLabels []int
+	VarLabels  []int
+}
+
+// structure adapts a system + rule to partition.Structure. Node indexing:
+// processors are 0..NP-1, variables NP..NP+NV-1.
+type structure struct {
+	sys  *system.System
+	rule Rule
+	vn   [][]system.Edge
+}
+
+func (st *structure) Len() int { return st.sys.NumNodes() }
+
+func (st *structure) InitKey(i int) string {
+	np := st.sys.NumProcs()
+	if i < np {
+		return "P|" + st.sys.ProcInit[i]
+	}
+	return "V|" + st.sys.VarInit[i-np]
+}
+
+func (st *structure) Signature(i int, label func(int) int) string {
+	np := st.sys.NumProcs()
+	var b strings.Builder
+	if i < np {
+		// Condition (2): the labels of the n-neighbors, in NAMES order.
+		for _, v := range st.sys.Nbr[i] {
+			fmt.Fprintf(&b, "%d,", label(np+v))
+		}
+		return b.String()
+	}
+	v := i - np
+	switch st.rule {
+	case RuleQ:
+		// Condition (3): per (name, processor label), neighbor counts.
+		counts := make(map[[2]int]int)
+		for _, e := range st.vn[v] {
+			counts[[2]int{e.NameIdx, label(e.Proc)}]++
+		}
+		keys := make([][2]int, 0, len(counts))
+		for k := range counts {
+			keys = append(keys, k)
+		}
+		sort.Slice(keys, func(a, b int) bool {
+			if keys[a][0] != keys[b][0] {
+				return keys[a][0] < keys[b][0]
+			}
+			return keys[a][1] < keys[b][1]
+		})
+		for _, k := range keys {
+			fmt.Fprintf(&b, "%d:%d=%d;", k[0], k[1], counts[k])
+		}
+		return b.String()
+	case RuleSetS:
+		// Set-based: per name, the set of labels of n-neighbors.
+		seen := make(map[[2]int]bool)
+		for _, e := range st.vn[v] {
+			seen[[2]int{e.NameIdx, label(e.Proc)}] = true
+		}
+		keys := make([][2]int, 0, len(seen))
+		for k := range seen {
+			keys = append(keys, k)
+		}
+		sort.Slice(keys, func(a, b int) bool {
+			if keys[a][0] != keys[b][0] {
+				return keys[a][0] < keys[b][0]
+			}
+			return keys[a][1] < keys[b][1]
+		})
+		for _, k := range keys {
+			fmt.Fprintf(&b, "%d:%d;", k[0], k[1])
+		}
+		return b.String()
+	default:
+		return "!badrule"
+	}
+}
+
+// OutEdges implements partition.CountStructure for the Q (counting)
+// rule: a processor depends on its n-neighbor through an edge tagged by
+// the name index, and a variable depends on each incident processor the
+// same way. The multiset of tags into a class is exactly the paper's
+// environment conditions (2) and (3).
+func (st *structure) OutEdges(i int) []partition.TaggedEdge {
+	np := st.sys.NumProcs()
+	if i < np {
+		out := make([]partition.TaggedEdge, 0, len(st.sys.Nbr[i]))
+		for j, v := range st.sys.Nbr[i] {
+			out = append(out, partition.TaggedEdge{To: np + v, Tag: j})
+		}
+		return out
+	}
+	v := i - np
+	out := make([]partition.TaggedEdge, 0, len(st.vn[v]))
+	for _, e := range st.vn[v] {
+		out = append(out, partition.TaggedEdge{To: e.Proc, Tag: e.NameIdx})
+	}
+	return out
+}
+
+func (st *structure) Dependents(i int) []int {
+	np := st.sys.NumProcs()
+	if i < np {
+		// A processor's label feeds the environments of its variables.
+		out := make([]int, 0, len(st.sys.Nbr[i]))
+		for _, v := range st.sys.Nbr[i] {
+			out = append(out, np+v)
+		}
+		return out
+	}
+	// A variable's label feeds the environments of its processors.
+	v := i - np
+	out := make([]int, 0, len(st.vn[v]))
+	for _, e := range st.vn[v] {
+		out = append(out, e.Proc)
+	}
+	return out
+}
+
+func newStructure(sys *system.System, rule Rule) (*structure, error) {
+	if rule != RuleQ && rule != RuleSetS {
+		return nil, fmt.Errorf("%w: %d", ErrBadRule, int(rule))
+	}
+	if err := sys.Validate(); err != nil {
+		return nil, fmt.Errorf("%w: %v", ErrSystemShape, err)
+	}
+	return &structure{sys: sys, rule: rule, vn: sys.VarNeighbors()}, nil
+}
+
+func fromPartition(sys *system.System, p *partition.Partition) *Labeling {
+	np := sys.NumProcs()
+	lab := &Labeling{
+		Sys:        sys,
+		ProcLabels: make([]int, np),
+		VarLabels:  make([]int, sys.NumVars()),
+	}
+	canon := p.Canonical()
+	for i := 0; i < np; i++ {
+		lab.ProcLabels[i] = canon[i]
+	}
+	for v := 0; v < sys.NumVars(); v++ {
+		lab.VarLabels[v] = canon[np+v]
+	}
+	return lab
+}
+
+// Similarity computes the similarity labeling Θ of sys under the given
+// environment rule. The counting rule (Q) uses the Hopcroft smaller-half
+// driver — Theorem 5's O(n log n) algorithm; the set rule, for which the
+// smaller-half trick is unsound (a tag present in a class may live only
+// in the split-off part), uses the worklist driver.
+func Similarity(sys *system.System, rule Rule) (*Labeling, error) {
+	st, err := newStructure(sys, rule)
+	if err != nil {
+		return nil, err
+	}
+	var p *partition.Partition
+	if rule == RuleQ {
+		p, err = partition.FixpointHopcroft(st)
+	} else {
+		p, err = partition.FixpointWorklist(st)
+	}
+	if err != nil {
+		return nil, fmt.Errorf("core: refining: %w", err)
+	}
+	return fromPartition(sys, p), nil
+}
+
+// SimilarityWorklist computes the Q labeling with the worklist driver;
+// kept alongside the Hopcroft driver as the DESIGN.md ablation.
+func SimilarityWorklist(sys *system.System, rule Rule) (*Labeling, error) {
+	st, err := newStructure(sys, rule)
+	if err != nil {
+		return nil, err
+	}
+	p, err := partition.FixpointWorklist(st)
+	if err != nil {
+		return nil, fmt.Errorf("core: refining: %w", err)
+	}
+	return fromPartition(sys, p), nil
+}
+
+// SimilarityNaive computes the same labeling with the naive driver (the
+// literal transcription of Algorithm 1). Kept as the testing oracle and
+// the DESIGN.md ablation baseline.
+func SimilarityNaive(sys *system.System, rule Rule) (*Labeling, error) {
+	st, err := newStructure(sys, rule)
+	if err != nil {
+		return nil, err
+	}
+	p, err := partition.FixpointNaive(st)
+	if err != nil {
+		return nil, fmt.Errorf("core: refining: %w", err)
+	}
+	return fromPartition(sys, p), nil
+}
+
+// validateAgainst checks that lab matches sys's shape.
+func (l *Labeling) validateAgainst(sys *system.System) error {
+	if l.Sys != sys {
+		// Allow distinct-but-equal systems; check shape only.
+		if len(l.ProcLabels) != sys.NumProcs() || len(l.VarLabels) != sys.NumVars() {
+			return ErrLabelingSize
+		}
+		return nil
+	}
+	if len(l.ProcLabels) != sys.NumProcs() || len(l.VarLabels) != sys.NumVars() {
+		return ErrLabelingSize
+	}
+	return nil
+}
+
+// NumProcClasses returns the number of distinct processor labels.
+func (l *Labeling) NumProcClasses() int {
+	seen := make(map[int]bool)
+	for _, x := range l.ProcLabels {
+		seen[x] = true
+	}
+	return len(seen)
+}
+
+// NumVarClasses returns the number of distinct variable labels.
+func (l *Labeling) NumVarClasses() int {
+	seen := make(map[int]bool)
+	for _, x := range l.VarLabels {
+		seen[x] = true
+	}
+	return len(seen)
+}
+
+// ProcClasses returns the processor equivalence classes, each sorted, in
+// order of smallest member.
+func (l *Labeling) ProcClasses() [][]int {
+	byLabel := make(map[int][]int)
+	for p, x := range l.ProcLabels {
+		byLabel[x] = append(byLabel[x], p)
+	}
+	classes := make([][]int, 0, len(byLabel))
+	for _, m := range byLabel {
+		sort.Ints(m)
+		classes = append(classes, m)
+	}
+	sort.Slice(classes, func(a, b int) bool { return classes[a][0] < classes[b][0] })
+	return classes
+}
+
+// VarClasses returns the variable equivalence classes, each sorted, in
+// order of smallest member.
+func (l *Labeling) VarClasses() [][]int {
+	byLabel := make(map[int][]int)
+	for v, x := range l.VarLabels {
+		byLabel[x] = append(byLabel[x], v)
+	}
+	classes := make([][]int, 0, len(byLabel))
+	for _, m := range byLabel {
+		sort.Ints(m)
+		classes = append(classes, m)
+	}
+	sort.Slice(classes, func(a, b int) bool { return classes[a][0] < classes[b][0] })
+	return classes
+}
+
+// UniqueProcs returns the processors that are alone in their similarity
+// class — the candidates a selection algorithm can elect.
+func (l *Labeling) UniqueProcs() []int {
+	var out []int
+	for _, c := range l.ProcClasses() {
+		if len(c) == 1 {
+			out = append(out, c[0])
+		}
+	}
+	return out
+}
+
+// EveryProcPaired reports whether every processor shares its label with
+// some other processor. By Theorems 2 and 3, a similarity labeling with
+// this property means the system has no selection algorithm.
+func (l *Labeling) EveryProcPaired() bool {
+	counts := make(map[int]int)
+	for _, x := range l.ProcLabels {
+		counts[x]++
+	}
+	for _, x := range l.ProcLabels {
+		if counts[x] < 2 {
+			return false
+		}
+	}
+	return true
+}
+
+// SameClass reports whether processors p and q are similar under l.
+func (l *Labeling) SameClass(p, q int) bool {
+	return l.ProcLabels[p] == l.ProcLabels[q]
+}
+
+// String renders the labeling compactly.
+func (l *Labeling) String() string {
+	var b strings.Builder
+	b.WriteString("procs:")
+	for _, c := range l.ProcClasses() {
+		names := make([]string, len(c))
+		for i, p := range c {
+			names[i] = l.Sys.ProcIDs[p]
+		}
+		fmt.Fprintf(&b, " {%s}", strings.Join(names, ","))
+	}
+	b.WriteString(" vars:")
+	for _, c := range l.VarClasses() {
+		names := make([]string, len(c))
+		for i, v := range c {
+			names[i] = l.Sys.VarIDs[v]
+		}
+		fmt.Fprintf(&b, " {%s}", strings.Join(names, ","))
+	}
+	return b.String()
+}
+
+// IsStable reports whether lab is stable for sys under rule: same label
+// implies same environment. By Theorem 4, a stable labeling is a
+// supersimilarity labeling (same label really does imply similar).
+func IsStable(sys *system.System, rule Rule, lab *Labeling) (bool, error) {
+	st, err := newStructure(sys, rule)
+	if err != nil {
+		return false, err
+	}
+	if err := lab.validateAgainst(sys); err != nil {
+		return false, err
+	}
+	np := sys.NumProcs()
+	label := func(i int) int {
+		if i < np {
+			// Offset variable labels into a disjoint space so a proc
+			// label never aliases a var label inside signatures.
+			return lab.ProcLabels[i]
+		}
+		return lab.VarLabels[i-np] + 1_000_000
+	}
+	// Initial-state condition (1) plus environment conditions (2)/(3).
+	sigByLabel := make(map[string]string)
+	for i := 0; i < sys.NumNodes(); i++ {
+		key := fmt.Sprintf("%d|%d", boolToInt(i < np), label(i))
+		sig := st.InitKey(i) + "#" + st.Signature(i, label)
+		if prev, ok := sigByLabel[key]; ok {
+			if prev != sig {
+				return false, nil
+			}
+		} else {
+			sigByLabel[key] = sig
+		}
+	}
+	return true, nil
+}
+
+// IsSupersimilarityForL implements the Theorem 8 test: lab is a
+// supersimilarity labeling for the system under instruction set L if it is
+// stable under RuleQ and no two same-labeled processors give the same name
+// to the same variable (same-name sharers can always break the tie with a
+// lock race, so they cannot be similar in L).
+func IsSupersimilarityForL(sys *system.System, lab *Labeling) (bool, error) {
+	stable, err := IsStable(sys, RuleQ, lab)
+	if err != nil {
+		return false, err
+	}
+	if !stable {
+		return false, nil
+	}
+	ok, err := NoSameNameSharers(sys, lab)
+	if err != nil {
+		return false, err
+	}
+	return ok, nil
+}
+
+// IsSubsimilarity reports whether lab is a subsimilarity labeling under
+// the rule: similar nodes have the same label, i.e. lab is a coarsening
+// of the similarity labeling Θ (section 3; the trivial subsimilarity
+// labeling gives every node one label). Together with IsStable this
+// brackets Θ: a labeling that is both is THE similarity labeling, unique
+// up to renaming.
+func IsSubsimilarity(sys *system.System, rule Rule, lab *Labeling) (bool, error) {
+	if err := lab.validateAgainst(sys); err != nil {
+		return false, err
+	}
+	theta, err := Similarity(sys, rule)
+	if err != nil {
+		return false, err
+	}
+	// Θ-same must imply lab-same; check per class of Θ.
+	repProc := make(map[int]int)
+	for p, l := range theta.ProcLabels {
+		if rep, ok := repProc[l]; ok {
+			if lab.ProcLabels[rep] != lab.ProcLabels[p] {
+				return false, nil
+			}
+		} else {
+			repProc[l] = p
+		}
+	}
+	repVar := make(map[int]int)
+	for v, l := range theta.VarLabels {
+		if rep, ok := repVar[l]; ok {
+			if lab.VarLabels[rep] != lab.VarLabels[v] {
+				return false, nil
+			}
+		} else {
+			repVar[l] = v
+		}
+	}
+	return true, nil
+}
+
+// IsSimilarityLabeling reports whether lab IS the similarity labeling:
+// both a supersimilarity labeling (stable) and a subsimilarity labeling
+// (coarser than or equal to Θ) — which pins it to Θ up to renaming.
+func IsSimilarityLabeling(sys *system.System, rule Rule, lab *Labeling) (bool, error) {
+	super, err := IsStable(sys, rule, lab)
+	if err != nil {
+		return false, err
+	}
+	if !super {
+		return false, nil
+	}
+	return IsSubsimilarity(sys, rule, lab)
+}
+
+// NoSameNameSharers reports whether no two same-labeled processors give
+// the same name to the same variable (the side condition of Theorem 8).
+func NoSameNameSharers(sys *system.System, lab *Labeling) (bool, error) {
+	if err := lab.validateAgainst(sys); err != nil {
+		return false, err
+	}
+	vn := sys.VarNeighbors()
+	for v := range vn {
+		seen := make(map[[2]int]bool) // (nameIdx, procLabel)
+		for _, e := range vn[v] {
+			key := [2]int{e.NameIdx, lab.ProcLabels[e.Proc]}
+			if seen[key] {
+				return false, nil
+			}
+			seen[key] = true
+		}
+	}
+	return true, nil
+}
+
+// NoSharersAtAll reports whether no two same-labeled processors share any
+// variable under any pair of names — the extended-locking condition of
+// section 6: with atomic multi-variable locks, similar processors cannot
+// be neighbors of the same variable.
+func NoSharersAtAll(sys *system.System, lab *Labeling) (bool, error) {
+	if err := lab.validateAgainst(sys); err != nil {
+		return false, err
+	}
+	vn := sys.VarNeighbors()
+	for v := range vn {
+		seen := make(map[int]int) // procLabel -> proc
+		for _, e := range vn[v] {
+			if prev, ok := seen[lab.ProcLabels[e.Proc]]; ok && prev != e.Proc {
+				return false, nil
+			}
+			seen[lab.ProcLabels[e.Proc]] = e.Proc
+		}
+	}
+	return true, nil
+}
+
+func boolToInt(b bool) int {
+	if b {
+		return 1
+	}
+	return 0
+}

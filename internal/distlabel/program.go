@@ -1,0 +1,524 @@
+package distlabel
+
+import (
+	"fmt"
+	"sort"
+	"strconv"
+
+	"simsym/internal/canon"
+	"simsym/internal/intset"
+	"simsym/internal/machine"
+	"simsym/internal/system"
+)
+
+// post is the value a processor posts to a shared variable: its current
+// suspect set for its own label, the name it calls the variable, the
+// phase (Algorithm 3 runs two phases over the same variables), and — in
+// phase 2 — the final phase-1 label, so phase-1 laggards can still count
+// the poster.
+//
+// Encoded as map[string]any for canonical fingerprints.
+func postValue(suspects []int, name system.Name, phase int, label1 int) map[string]any {
+	return map[string]any{
+		"s":  append([]int(nil), suspects...),
+		"n":  string(name),
+		"ph": phase,
+		"l1": label1,
+	}
+}
+
+// parsedPost is a decoded post.
+type parsedPost struct {
+	suspects []int
+	name     string
+	phase    int
+	label1   int
+}
+
+func parsePost(v any) (parsedPost, bool) {
+	m, ok := v.(map[string]any)
+	if !ok {
+		return parsedPost{}, false
+	}
+	s, ok := m["s"].([]int)
+	if !ok {
+		return parsedPost{}, false
+	}
+	n, ok := m["n"].(string)
+	if !ok {
+		return parsedPost{}, false
+	}
+	ph, ok := m["ph"].(int)
+	if !ok {
+		return parsedPost{}, false
+	}
+	l1, ok := m["l1"].(int)
+	if !ok {
+		return parsedPost{}, false
+	}
+	return parsedPost{suspects: s, name: n, phase: ph, label1: l1}, true
+}
+
+// normalizeForPhase projects a post onto the given phase's suspect sets:
+// phase-1 observers treat a phase-2 post as a resolved phase-1 singleton
+// {l1}; phase-2 observers ignore phase-1 posts.
+func normalizeForPhase(p parsedPost, phase int) ([]int, bool) {
+	switch {
+	case p.phase == phase:
+		return p.suspects, true
+	case phase == 1 && p.phase == 2:
+		return []int{p.label1}, true
+	default:
+		return nil, false
+	}
+}
+
+// vAlibi computes the set of variable labels ruled out by the posts seen
+// in one peeked variable (the paper's v-alibi): β has an alibi when for
+// some name m and some label set Lab, more posts (under name m, suspects
+// within Lab) are present than a β-variable could have m-neighbors with
+// labels in Lab. A processor always suspects its own label, so the count
+// of such posts lower-bounds the number of Lab-labeled m-neighbors.
+func vAlibi(topo *Topology, pr machine.PeekResult, phase int) []int {
+	// Group normalized suspect sets by poster name.
+	byName := make(map[string][][]int)
+	for _, v := range pr.Values {
+		p, ok := parsePost(v)
+		if !ok {
+			continue
+		}
+		s, ok := normalizeForPhase(p, phase)
+		if !ok {
+			continue
+		}
+		byName[p.name] = append(byName[p.name], s)
+	}
+	alibis := make(map[int]bool)
+	for j, n := range topo.Names {
+		sets := byName[string(n)]
+		if len(sets) == 0 {
+			continue
+		}
+		for _, lab := range candidateLabs(sets) {
+			cnt := 0
+			for _, s := range sets {
+				if intset.Subset(s, lab) {
+					cnt++
+				}
+			}
+			for _, beta := range topo.VLabels {
+				if alibis[beta] {
+					continue
+				}
+				capacity := 0
+				for _, alpha := range lab {
+					capacity += topo.NSize(j, alpha, beta)
+				}
+				if cnt > capacity {
+					alibis[beta] = true
+				}
+			}
+		}
+	}
+	return intset.FromMap(alibis)
+}
+
+// candidateLabs returns the Lab sets tried by v-alibi: all unions of the
+// distinct observed suspect sets when few, else the sets themselves plus
+// the total union. The paper (footnote 2) notes only linearly many sets
+// matter; unions of observed sets are exactly the ones that can beat a
+// capacity bound.
+func candidateLabs(sets [][]int) [][]int {
+	distinct := make(map[string][]int)
+	for _, s := range sets {
+		distinct[fmt.Sprint(s)] = s
+	}
+	uniq := make([][]int, 0, len(distinct))
+	for _, s := range distinct {
+		uniq = append(uniq, s)
+	}
+	if len(uniq) <= 12 {
+		// All unions of subsets, deduplicated.
+		seen := make(map[string][]int)
+		for mask := 1; mask < 1<<len(uniq); mask++ {
+			var u []int
+			for i := range uniq {
+				if mask&(1<<i) != 0 {
+					u = intset.Union(u, uniq[i])
+				}
+			}
+			seen[fmt.Sprint(u)] = u
+		}
+		out := make([][]int, 0, len(seen))
+		for _, u := range seen {
+			out = append(out, u)
+		}
+		return out
+	}
+	var total []int
+	for _, s := range uniq {
+		total = intset.Union(total, s)
+	}
+	return append(uniq, total)
+}
+
+// pAlibi computes the processor labels ruled out for this processor
+// (the paper's p-alibi). α has an alibi when, for some name n:
+//
+//   - α's n-neighbor label is no longer suspected for our n-variable, or
+//   - we still do not know our own label, yet our n-variable already
+//     contains as many resolved-{α} posts under name n as a true
+//     α-processor's n-variable has α-neighbors — every α already knows,
+//     so we cannot be one of them.
+func pAlibi(topo *Topology, loc machine.Locals, phase int) []int {
+	pec := loc[keyPEC(phase)].([]int)
+	alibis := make(map[int]bool)
+	for _, alpha := range topo.PLabels {
+		for j, n := range topo.Names {
+			beta, ok := topo.NbrLabel[[2]int{alpha, j}]
+			if !ok {
+				alibis[alpha] = true
+				break
+			}
+			vec := loc[keyVEC(phase, n)].([]int)
+			if !intset.Contains(vec, beta) {
+				alibis[alpha] = true
+				break
+			}
+			if len(pec) > 1 {
+				pr, ok := loc[keyLocal(phase, n)].(machine.PeekResult)
+				if !ok {
+					continue
+				}
+				cnt := 0
+				for _, v := range pr.Values {
+					p, ok := parsePost(v)
+					if !ok || p.name != string(n) {
+						continue
+					}
+					s, ok := normalizeForPhase(p, phase)
+					if !ok {
+						continue
+					}
+					if len(s) == 1 && s[0] == alpha {
+						cnt++
+					}
+				}
+				if cnt >= topo.NSize(j, alpha, beta) {
+					alibis[alpha] = true
+					break
+				}
+			}
+		}
+	}
+	return intset.FromMap(alibis)
+}
+
+func keyPEC(phase int) string                     { return fmt.Sprintf("PEC%d", phase) }
+func keyVEC(phase int, n system.Name) string      { return fmt.Sprintf("VEC%d_%s", phase, n) }
+func keyLocal(phase int, n system.Name) string    { return fmt.Sprintf("local%d_%s", phase, n) }
+func keyOut(phase int, n system.Name) string      { return fmt.Sprintf("out%d_%s", phase, n) }
+func keyRank(n system.Name) string                { return fmt.Sprintf("rank_%s", n) }
+func labelKey(phase int) string                   { return fmt.Sprintf("label%d", phase) }
+func lbl(phase int, name string) string           { return fmt.Sprintf("p%d_%s", phase, name) }
+func varLabelKey(phase int, n system.Name) string { return fmt.Sprintf("varlabel%d_%s", phase, n) }
+
+// Options configures program generation.
+type Options struct {
+	// Elite, when non-empty, makes the program set selected=true on the
+	// processor whose final label is in Elite (the paper's SELECT).
+	Elite []int
+	// RequireVarResolution keeps the loop running until every VEC is a
+	// singleton too (needed by Algorithm 3's first phase, which exists
+	// to learn variable structure).
+	RequireVarResolution bool
+}
+
+// gen emits program fragments with unique labels per call site, switching
+// between native Q access (peek/post) and the L simulation (lock-guarded
+// read-modify-write on a rank-keyed map, available after relabel).
+type gen struct {
+	b    *machine.Builder
+	mode system.InstrSet // InstrQ or InstrL
+	site int
+}
+
+func (g *gen) fresh(prefix string) string {
+	g.site++
+	return fmt.Sprintf("%s_%d", prefix, g.site)
+}
+
+// emitPeek loads the multiset state of the variable called n into dst as
+// a machine.PeekResult.
+//
+// In L mode the variable's value is a map rank→post maintained by
+// emitPost; the peek locks, reads, and unlocks. The Init field is left
+// empty in L mode: Algorithm 3 never consults variable initial states
+// (that is the whole point of its structure-only first phase), which is
+// what makes the simulation sound.
+func (g *gen) emitPeek(n system.Name, dst string) {
+	if g.mode == system.InstrQ {
+		g.b.Peek(n, dst)
+		return
+	}
+	retry := g.fresh("peek_retry")
+	g.b.Label(retry)
+	g.b.Lock(n, "_g")
+	g.b.JumpIf(func(loc machine.Locals) bool { return loc["_g"] != true }, retry)
+	g.b.Read(n, "_raw")
+	g.b.Unlock(n)
+	g.b.Compute(func(loc machine.Locals) {
+		loc[dst] = mapToPeekResult(loc["_raw"])
+	})
+}
+
+// emitPost publishes the value of local src to the variable called n.
+// In L mode the processor's slot in the variable's map is keyed by its
+// relabel rank on that variable, which relabel made unique among the
+// variable's users.
+func (g *gen) emitPost(n system.Name, src string) {
+	if g.mode == system.InstrQ {
+		g.b.Post(n, src)
+		return
+	}
+	retry := g.fresh("post_retry")
+	g.b.Label(retry)
+	g.b.Lock(n, "_g")
+	g.b.JumpIf(func(loc machine.Locals) bool { return loc["_g"] != true }, retry)
+	g.b.Read(n, "_raw")
+	g.b.Compute(func(loc machine.Locals) {
+		next := normalizeVarContent(loc["_raw"])
+		rank, _ := loc[keyRank(n)].(int)
+		next["r"+strconv.Itoa(rank)] = loc[src]
+		loc["_w"] = next
+	})
+	g.b.Write(n, "_w")
+	g.b.Unlock(n)
+}
+
+// cntKey is the reserved slot in an L-simulated variable's map holding
+// the relabel counter. Posts use "r<rank>" keys; keeping the counter in
+// the same map means posting never clobbers the counter a still-
+// relabeling processor is about to read.
+const cntKey = "#cnt"
+
+// normalizeVarContent converts whatever a variable currently holds into
+// the map convention, preserving the counter: a fresh variable holds its
+// initial string value, which is its counter.
+func normalizeVarContent(raw any) map[string]any {
+	if content, ok := raw.(map[string]any); ok {
+		next := make(map[string]any, len(content)+1)
+		for k, v := range content {
+			next[k] = v
+		}
+		return next
+	}
+	next := make(map[string]any, 2)
+	if s, ok := raw.(string); ok {
+		next[cntKey] = s
+	}
+	return next
+}
+
+// mapToPeekResult converts the L-simulated variable content to the
+// PeekResult shape Algorithm 2 consumes, dropping the counter slot.
+func mapToPeekResult(raw any) machine.PeekResult {
+	content, _ := raw.(map[string]any)
+	vals := make([]any, 0, len(content))
+	for k, v := range content {
+		if k == cntKey {
+			continue
+		}
+		vals = append(vals, v)
+	}
+	sort.Slice(vals, func(a, b int) bool {
+		return canon.String(vals[a]) < canon.String(vals[b])
+	})
+	return machine.PeekResult{Values: vals}
+}
+
+// emitRelabel emits the paper's relabel(k) subroutine (section 5): for
+// each name in order, spin-lock the variable, read its counter, write
+// counter+1, unlock, and remember the read value as this processor's rank
+// on that variable. Afterwards the processor's local "init" becomes its
+// post-relabel state (original init plus rank vector) — a member of the
+// homogeneous family R.
+func emitRelabel(g *gen, names []system.Name) {
+	for _, n := range names {
+		n := n
+		retry := g.fresh("relabel_retry")
+		g.b.Label(retry)
+		g.b.Lock(n, "_g")
+		g.b.JumpIf(func(loc machine.Locals) bool { return loc["_g"] != true }, retry)
+		g.b.Read(n, "_cnt")
+		g.b.Compute(func(loc machine.Locals) {
+			next := normalizeVarContent(loc["_cnt"])
+			cnt := 0
+			if s, ok := next[cntKey].(string); ok {
+				if v, err := strconv.Atoi(s); err == nil {
+					cnt = v
+				}
+			}
+			loc[keyRank(n)] = cnt
+			next[cntKey] = strconv.Itoa(cnt + 1)
+			loc["_cnt2"] = next
+		})
+		g.b.Write(n, "_cnt2")
+		g.b.Unlock(n)
+	}
+	g.b.Compute(func(loc machine.Locals) {
+		ranks := make([]int, len(names))
+		for i, n := range names {
+			ranks[i], _ = loc[keyRank(n)].(int)
+		}
+		orig, _ := loc["init"].(string)
+		loc["init"] = relabelStateString(orig, ranks)
+	})
+}
+
+// relabelStateString mirrors family.RelabelState (kept in sync by a
+// cross-package test) without importing the package, avoiding an import
+// cycle distlabel -> family -> distlabel in future layers.
+func relabelStateString(orig string, ranks []int) string {
+	out := orig + "|"
+	for i, r := range ranks {
+		if i > 0 {
+			out += ","
+		}
+		out += strconv.Itoa(r)
+	}
+	return out
+}
+
+// Algorithm2 generates the distributed label-learning program for a
+// system (or family) whose label structure is topo, in native Q. Each
+// processor ends with its similarity label in local "label1" and halts.
+func Algorithm2(topo *Topology, opts Options) (*machine.Program, error) {
+	b := machine.NewBuilder()
+	g := &gen{b: b, mode: system.InstrQ}
+	emitPhase(g, topo, 1, opts, phaseInit{
+		initPEC: func(loc machine.Locals) []int {
+			init, _ := loc["init"].(string)
+			var pec []int
+			for _, alpha := range topo.PLabels {
+				if topo.InitOfProc[alpha] == init {
+					pec = append(pec, alpha)
+				}
+			}
+			return intset.Of(pec...)
+		},
+		initVEC: func(loc machine.Locals, n system.Name) []int {
+			pr, _ := loc[keyLocal(1, n)].(machine.PeekResult)
+			var vec []int
+			for _, beta := range topo.VLabels {
+				if topo.InitOfVar[beta] == pr.Init {
+					vec = append(vec, beta)
+				}
+			}
+			return intset.Of(vec...)
+		},
+	}, "end")
+	b.Label("end")
+	b.Halt()
+	return b.Build()
+}
+
+// phaseInit supplies the suspect-set initializers for a phase.
+type phaseInit struct {
+	initPEC func(loc machine.Locals) []int
+	initVEC func(loc machine.Locals, n system.Name) []int
+}
+
+// emitPhase generates one full Algorithm 2 phase: initialization, an
+// initial post of the starting suspects, the peek/alibi/post loop, and a
+// resolution block that stores the learned label (and per-variable labels
+// when resolved) and optionally selects.
+func emitPhase(g *gen, topo *Topology, phase int, opts Options, init phaseInit, next string) {
+	b := g.b
+	names := topo.Names
+
+	// Initialization: peek every variable (for its initial state), then
+	// form the starting suspect sets.
+	for _, n := range names {
+		g.emitPeek(n, keyLocal(phase, n))
+	}
+	b.Compute(func(loc machine.Locals) {
+		loc[keyPEC(phase)] = init.initPEC(loc)
+		for _, n := range names {
+			loc[keyVEC(phase, n)] = init.initVEC(loc, n)
+		}
+	})
+	// Initial post: make the starting suspects visible even if we
+	// already know our label (neighbors may need our resolved post).
+	emitPosts(g, topo, phase)
+
+	b.Label(lbl(phase, "loop"))
+	b.JumpIf(func(loc machine.Locals) bool {
+		if len(loc[keyPEC(phase)].([]int)) > 1 {
+			return false
+		}
+		if opts.RequireVarResolution {
+			for _, n := range names {
+				if len(loc[keyVEC(phase, n)].([]int)) > 1 {
+					return false
+				}
+			}
+		}
+		return true
+	}, lbl(phase, "done"))
+
+	for _, n := range names {
+		g.emitPeek(n, keyLocal(phase, n))
+	}
+	b.Compute(func(loc machine.Locals) {
+		for _, n := range names {
+			pr, ok := loc[keyLocal(phase, n)].(machine.PeekResult)
+			if !ok {
+				continue
+			}
+			vec := loc[keyVEC(phase, n)].([]int)
+			loc[keyVEC(phase, n)] = intset.Diff(vec, vAlibi(topo, pr, phase))
+		}
+	})
+	b.Compute(func(loc machine.Locals) {
+		pec := loc[keyPEC(phase)].([]int)
+		loc[keyPEC(phase)] = intset.Diff(pec, pAlibi(topo, loc, phase))
+	})
+	emitPosts(g, topo, phase)
+	b.Jump(lbl(phase, "loop"))
+
+	b.Label(lbl(phase, "done"))
+	b.Compute(func(loc machine.Locals) {
+		pec := loc[keyPEC(phase)].([]int)
+		if len(pec) == 1 {
+			loc[labelKey(phase)] = pec[0]
+		}
+		for _, n := range names {
+			vec := loc[keyVEC(phase, n)].([]int)
+			if len(vec) == 1 {
+				loc[varLabelKey(phase, n)] = vec[0]
+			}
+		}
+		loc["done"] = true
+		if len(opts.Elite) > 0 && len(pec) == 1 && intset.Contains(opts.Elite, pec[0]) {
+			loc["selected"] = true
+		}
+	})
+	// One final post so neighbors see our resolved state.
+	emitPosts(g, topo, phase)
+	b.Jump(next)
+}
+
+func emitPosts(g *gen, topo *Topology, phase int) {
+	for _, n := range topo.Names {
+		n := n
+		g.b.Compute(func(loc machine.Locals) {
+			l1 := -1
+			if v, ok := loc[labelKey(1)].(int); ok {
+				l1 = v
+			}
+			loc[keyOut(phase, n)] = postValue(loc[keyPEC(phase)].([]int), n, phase, l1)
+		})
+		g.emitPost(n, keyOut(phase, n))
+	}
+}

@@ -1,0 +1,270 @@
+package distlabel
+
+import (
+	"fmt"
+
+	"simsym/internal/canon"
+	"simsym/internal/intset"
+	"simsym/internal/machine"
+	"simsym/internal/system"
+)
+
+// Algorithm 2-S: the paper's section 6 remark made concrete — "The
+// distributed algorithm for finding similarity labels [in S] is nearly
+// the same as the one given above for Q, and it too can be used as the
+// basis for a selection algorithm."
+//
+// Differences from the Q version, exactly mirroring the set-based
+// environment rule:
+//
+//   - Variables hold one value; posts overwrite. Processors therefore
+//     accumulate the SET of posts they have observed in each named
+//     variable over time, and alibis are computed against that set.
+//   - v-alibi is membership-based: an observed post under name m whose
+//     suspect set is disjoint from the labels that can m-write a
+//     β-variable rules β out. No counting is available.
+//   - p-alibi keeps only its structural half (my n-variable can no
+//     longer be α's n-neighbor); the "everyone else already knows"
+//     count is a Q-only device.
+//   - A variable's initial state can be overwritten before a processor
+//     reads it, so the first writer records the initial value it saw in
+//     its posts and later processors adopt it from there.
+//
+// Convergence is exercised under shuffled fair rounds; a k-bounded
+// adversary could systematically shadow one writer's posts with
+// another's, which the paper's unspecified S algorithm would need a
+// synchronization subprotocol to defeat (documented in DESIGN.md).
+
+// sPost builds the value written to a shared S variable.
+func sPost(suspects []int, name system.Name, vinit string) map[string]any {
+	return map[string]any{
+		"s":  append([]int(nil), suspects...),
+		"n":  string(name),
+		"vi": vinit,
+	}
+}
+
+type sParsed struct {
+	suspects []int
+	name     string
+	vinit    string
+}
+
+func parseSPost(v any) (sParsed, bool) {
+	m, ok := v.(map[string]any)
+	if !ok {
+		return sParsed{}, false
+	}
+	s, ok := m["s"].([]int)
+	if !ok {
+		return sParsed{}, false
+	}
+	n, ok := m["n"].(string)
+	if !ok {
+		return sParsed{}, false
+	}
+	vi, ok := m["vi"].(string)
+	if !ok {
+		return sParsed{}, false
+	}
+	return sParsed{suspects: s, name: n, vinit: vi}, true
+}
+
+// canMWrite reports whether a processor labeled alpha has an m-edge to a
+// variable labeled beta.
+func (t *Topology) canMWrite(mIdx, alpha, beta int) bool {
+	return t.NSize(mIdx, alpha, beta) > 0
+}
+
+// sVAlibi rules out variable labels for one named variable, from the set
+// of posts observed in it: β is impossible if some observed post (m, S)
+// has no label in S that can m-write a β-variable — the poster certainly
+// has SOME label in S, and whatever it is, it m-writes this variable.
+func sVAlibi(topo *Topology, seen []any) []int {
+	alibis := make(map[int]bool)
+	for _, raw := range seen {
+		p, ok := parseSPost(raw)
+		if !ok {
+			continue
+		}
+		mIdx := -1
+		for j, n := range topo.Names {
+			if string(n) == p.name {
+				mIdx = j
+			}
+		}
+		if mIdx < 0 {
+			continue
+		}
+		for _, beta := range topo.VLabels {
+			if alibis[beta] {
+				continue
+			}
+			compatible := false
+			for _, alpha := range p.suspects {
+				if topo.canMWrite(mIdx, alpha, beta) {
+					compatible = true
+					break
+				}
+			}
+			if !compatible {
+				alibis[beta] = true
+			}
+		}
+	}
+	return intset.FromMap(alibis)
+}
+
+// sPAlibi keeps the structural half of p-alibi: α is ruled out when, for
+// some name n, α's n-neighbor label is no longer suspected for our
+// n-variable.
+func sPAlibi(topo *Topology, loc machine.Locals) []int {
+	alibis := make(map[int]bool)
+	for _, alpha := range topo.PLabels {
+		for j, n := range topo.Names {
+			beta, ok := topo.NbrLabel[[2]int{alpha, j}]
+			if !ok {
+				alibis[alpha] = true
+				break
+			}
+			vec, _ := loc[sKeyVEC(n)].([]int)
+			if vec != nil && !intset.Contains(vec, beta) {
+				alibis[alpha] = true
+				break
+			}
+		}
+	}
+	return intset.FromMap(alibis)
+}
+
+func sKeyVEC(n system.Name) string   { return fmt.Sprintf("sVEC_%s", n) }
+func sKeySeen(n system.Name) string  { return fmt.Sprintf("sSeen_%s", n) }
+func sKeyVinit(n system.Name) string { return fmt.Sprintf("sVinit_%s", n) }
+func sKeyOut(n system.Name) string   { return fmt.Sprintf("sOut_%s", n) }
+func sKeyRaw(n system.Name) string   { return fmt.Sprintf("sRaw_%s", n) }
+
+// Algorithm2S generates the S-instruction-set label-learning program for
+// a system whose set-rule similarity structure is topo (build it with
+// TopologyFromSystem over the RuleSetS labeling). Processors end with
+// their label in local "label1"; opts.Elite selects as usual.
+func Algorithm2S(topo *Topology, opts Options) (*machine.Program, error) {
+	b := machine.NewBuilder()
+	names := topo.Names
+
+	// Initial reads: capture variable initial states where still
+	// visible; otherwise they arrive later through posts.
+	for _, n := range names {
+		b.Read(n, sKeyRaw(n))
+	}
+	b.Compute(func(loc machine.Locals) {
+		init, _ := loc["init"].(string)
+		var pec []int
+		for _, alpha := range topo.PLabels {
+			if topo.InitOfProc[alpha] == init {
+				pec = append(pec, alpha)
+			}
+		}
+		loc["PEC1"] = intset.Of(pec...)
+		for _, n := range names {
+			if raw, ok := loc[sKeyRaw(n)].(string); ok {
+				loc[sKeyVinit(n)] = raw
+			}
+			loc[sKeySeen(n)] = []any{}
+			loc[sKeyVEC(n)] = append([]int(nil), topo.VLabels...)
+		}
+	})
+
+	b.Label("loop")
+	b.JumpIf(func(loc machine.Locals) bool {
+		return len(loc["PEC1"].([]int)) == 1
+	}, "done")
+	emitSRound(b, topo)
+	b.Jump("loop")
+
+	b.Label("done")
+	b.Compute(func(loc machine.Locals) {
+		pec := loc["PEC1"].([]int)
+		if len(pec) == 1 {
+			loc["label1"] = pec[0]
+			if len(opts.Elite) > 0 && intset.Contains(opts.Elite, pec[0]) {
+				loc["selected"] = true
+			}
+		}
+		loc["done"] = true
+	})
+	// Perpetual refresh: in S a post lives only until the next write to
+	// the variable, so a processor that stopped writing could have its
+	// resolved post shadowed forever by a still-searching neighbor.
+	// Resolved processors therefore keep re-publishing — the Q version
+	// gets this persistence for free from its multiset variables.
+	b.Label("refresh")
+	emitSWrites(b, topo)
+	b.Jump("refresh")
+	return b.Build()
+}
+
+// emitSRound emits one observe/refine/publish round.
+func emitSRound(b *machine.Builder, topo *Topology) {
+	names := topo.Names
+	for _, n := range names {
+		b.Read(n, sKeyRaw(n))
+	}
+	b.Compute(func(loc machine.Locals) {
+		for _, n := range names {
+			raw := loc[sKeyRaw(n)]
+			post, ok := parseSPost(raw)
+			if !ok {
+				continue
+			}
+			// Adopt the initial value relayed through posts.
+			if _, have := loc[sKeyVinit(n)]; !have && post.vinit != "" {
+				loc[sKeyVinit(n)] = post.vinit
+			}
+			// Accumulate the observation set (replace, never mutate).
+			seen, _ := loc[sKeySeen(n)].([]any)
+			key := canon.String(raw)
+			dup := false
+			for _, old := range seen {
+				if canon.String(old) == key {
+					dup = true
+					break
+				}
+			}
+			if !dup {
+				next := make([]any, 0, len(seen)+1)
+				next = append(next, seen...)
+				next = append(next, raw)
+				loc[sKeySeen(n)] = next
+			}
+		}
+		// Refine VEC: initial-state filter once known, then set alibis.
+		for _, n := range names {
+			vec := loc[sKeyVEC(n)].([]int)
+			if vinit, ok := loc[sKeyVinit(n)].(string); ok {
+				var keep []int
+				for _, beta := range vec {
+					if topo.InitOfVar[beta] == vinit {
+						keep = append(keep, beta)
+					}
+				}
+				vec = intset.Of(keep...)
+			}
+			seen, _ := loc[sKeySeen(n)].([]any)
+			loc[sKeyVEC(n)] = intset.Diff(vec, sVAlibi(topo, seen))
+		}
+		pec := loc["PEC1"].([]int)
+		loc["PEC1"] = intset.Diff(pec, sPAlibi(topo, loc))
+	})
+	emitSWrites(b, topo)
+}
+
+func emitSWrites(b *machine.Builder, topo *Topology) {
+	for _, n := range topo.Names {
+		n := n
+		b.Compute(func(loc machine.Locals) {
+			vinit, _ := loc[sKeyVinit(n)].(string)
+			loc[sKeyOut(n)] = sPost(loc["PEC1"].([]int), n, vinit)
+		})
+		b.Write(n, sKeyOut(n))
+	}
+}

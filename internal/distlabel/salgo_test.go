@@ -1,0 +1,180 @@
+package distlabel
+
+import (
+	"fmt"
+	"math/rand"
+	"testing"
+
+	"simsym/internal/core"
+	"simsym/internal/machine"
+	"simsym/internal/sched"
+	"simsym/internal/system"
+)
+
+// runUntilAllDone drives m under shuffled fair rounds until every
+// processor has set "done" (the S programs never halt — resolved
+// processors keep refreshing their posts).
+func runUntilAllDone(t *testing.T, m *machine.Machine, seed int64, maxRounds int) {
+	t.Helper()
+	rng := rand.New(rand.NewSource(seed))
+	n := m.System().NumProcs()
+	allDone := func() bool {
+		for p := 0; p < n; p++ {
+			if d, ok := m.Local(p, "done"); !ok || d != true {
+				return false
+			}
+		}
+		return true
+	}
+	for r := 0; r < maxRounds; r++ {
+		if allDone() {
+			return
+		}
+		round, err := sched.ShuffledRounds(rng, n, 1)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if _, err := m.Run(round); err != nil {
+			t.Fatal(err)
+		}
+	}
+	for p := 0; p < n; p++ {
+		pec, _ := m.Local(p, "PEC1")
+		t.Logf("proc %d PEC=%v", p, pec)
+	}
+	t.Fatalf("Algorithm 2-S did not converge in %d rounds", maxRounds)
+}
+
+func sAlgoProgram(t *testing.T, s *system.System, elite []int) (*machine.Program, *core.Labeling) {
+	t.Helper()
+	lab, err := core.Similarity(s, core.RuleSetS)
+	if err != nil {
+		t.Fatal(err)
+	}
+	topo, err := TopologyFromSystem(s, lab)
+	if err != nil {
+		t.Fatal(err)
+	}
+	prog, err := Algorithm2S(topo, Options{Elite: elite})
+	if err != nil {
+		t.Fatal(err)
+	}
+	return prog, lab
+}
+
+func TestAlgorithm2SFig3LearnsLabels(t *testing.T) {
+	// Figure 3 under the set rule separates all three processors; the
+	// S algorithm (read/write only, set alibis) must let each learn its
+	// label — the convergence works through the relay chain analyzed in
+	// the package docs: p resolves structurally, z resolves from p's
+	// posts, q resolves from z's.
+	s := system.Fig3()
+	prog, lab := sAlgoProgram(t, s, nil)
+	for seed := int64(0); seed < 6; seed++ {
+		m, err := machine.New(s, system.InstrS, prog)
+		if err != nil {
+			t.Fatal(err)
+		}
+		runUntilAllDone(t, m, seed, 3000)
+		for p := 0; p < s.NumProcs(); p++ {
+			v, ok := m.Local(p, "label1")
+			if !ok || v.(int) != lab.ProcLabels[p] {
+				t.Errorf("seed %d: proc %d learned %v, want %d", seed, p, v, lab.ProcLabels[p])
+			}
+		}
+	}
+}
+
+func TestAlgorithm2SMarkedRing(t *testing.T) {
+	for _, n := range []int{3, 4, 5} {
+		t.Run(fmt.Sprintf("ring%d", n), func(t *testing.T) {
+			s, err := system.Ring(n)
+			if err != nil {
+				t.Fatal(err)
+			}
+			s.ProcInit[0] = "leader"
+			prog, lab := sAlgoProgram(t, s, nil)
+			m, err := machine.New(s, system.InstrS, prog)
+			if err != nil {
+				t.Fatal(err)
+			}
+			runUntilAllDone(t, m, int64(n), 6000)
+			for p := 0; p < n; p++ {
+				v, ok := m.Local(p, "label1")
+				if !ok || v.(int) != lab.ProcLabels[p] {
+					t.Errorf("proc %d learned %v, want %d", p, v, lab.ProcLabels[p])
+				}
+			}
+		})
+	}
+}
+
+func TestAlgorithm2SSelectsWithElite(t *testing.T) {
+	// SELECT in bounded-fair S on Figure 3: z's label is designated.
+	s := system.Fig3()
+	lab, err := core.Similarity(s, core.RuleSetS)
+	if err != nil {
+		t.Fatal(err)
+	}
+	prog, _ := sAlgoProgram(t, s, []int{lab.ProcLabels[2]})
+	for seed := int64(0); seed < 5; seed++ {
+		m, err := machine.New(s, system.InstrS, prog)
+		if err != nil {
+			t.Fatal(err)
+		}
+		runUntilAllDone(t, m, seed, 3000)
+		sel := m.SelectedProcs()
+		if len(sel) != 1 || sel[0] != 2 {
+			t.Errorf("seed %d: selected %v, want [2]", seed, sel)
+		}
+	}
+}
+
+func TestAlgorithm2STrivialSystem(t *testing.T) {
+	// Figure 1 under the set rule: both processors share a label and
+	// resolve immediately to that (correct) label.
+	s := system.Fig1()
+	prog, lab := sAlgoProgram(t, s, nil)
+	m, err := machine.New(s, system.InstrS, prog)
+	if err != nil {
+		t.Fatal(err)
+	}
+	runUntilAllDone(t, m, 1, 200)
+	for p := 0; p < 2; p++ {
+		v, _ := m.Local(p, "label1")
+		if v != lab.ProcLabels[p] {
+			t.Errorf("proc %d learned %v", p, v)
+		}
+	}
+}
+
+func TestAlgorithm2SSelectionStaysUnique(t *testing.T) {
+	// Stability + uniqueness observed over long runs: once z selects,
+	// nobody else ever does.
+	s := system.Fig3()
+	lab, err := core.Similarity(s, core.RuleSetS)
+	if err != nil {
+		t.Fatal(err)
+	}
+	prog, _ := sAlgoProgram(t, s, []int{lab.ProcLabels[2]})
+	m, err := machine.New(s, system.InstrS, prog)
+	if err != nil {
+		t.Fatal(err)
+	}
+	rng := rand.New(rand.NewSource(7))
+	for r := 0; r < 4000; r++ {
+		round, err := sched.ShuffledRounds(rng, 3, 1)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if _, err := m.Run(round); err != nil {
+			t.Fatal(err)
+		}
+		if sel := m.SelectedProcs(); len(sel) > 1 {
+			t.Fatalf("round %d: multiple selected %v", r, sel)
+		}
+	}
+	if sel := m.SelectedProcs(); len(sel) != 1 {
+		t.Errorf("final selected = %v", sel)
+	}
+}

@@ -1,0 +1,206 @@
+// Package distlabel implements the paper's Algorithm 2 — the distributed
+// program by which each processor learns its own similarity label — and
+// Algorithm 3, its two-phase extension for homogeneous families.
+//
+// Algorithm 2 is generated per system (the paper: "This algorithm is
+// specific for the system Σ, but can be generated automatically from the
+// bipartite graph specification"). The generated program is uniform: all
+// processors run the same instruction list; what is baked in is only
+// system-wide knowledge — PLABELS, VLABELS, initial states per label, the
+// n-nbr function on labels, and neighborhood_size — never per-processor
+// identity.
+//
+// Processors keep suspect sets: PEC for their own label, VEC[n] for each
+// named variable's label. Alibis — facts ruling labels out — flow through
+// the shared variables: v-alibi rules out variable labels whose neighbor
+// structure cannot explain the posts observed in a variable, and p-alibi
+// rules out processor labels whose n-neighbor is already ruled out or all
+// of whose holders demonstrably already know their label.
+package distlabel
+
+import (
+	"errors"
+	"fmt"
+
+	"simsym/internal/core"
+	"simsym/internal/family"
+	"simsym/internal/system"
+)
+
+// Sentinel errors.
+var (
+	ErrUnstable = errors.New("distlabel: labeling is not stable (not a similarity labeling)")
+	ErrShape    = errors.New("distlabel: labeling does not match system")
+	ErrDupEdges = errors.New("distlabel: processor names one variable twice (unsupported by the generated programs)")
+)
+
+// ValidateRuntime checks the restrictions of the generated distributed
+// programs (Algorithms 2, 2-S, 3, 4): no processor may reach the same
+// variable through two names. The labeling and decision machinery
+// handles such systems fine; the runtime does not, because a processor's
+// single subvalue (or written cell) cannot carry two name tags at once.
+func ValidateRuntime(sys *system.System) error {
+	for p := range sys.Nbr {
+		seen := make(map[int]bool, len(sys.Nbr[p]))
+		for _, v := range sys.Nbr[p] {
+			if seen[v] {
+				return fmt.Errorf("%w: processor %d", ErrDupEdges, p)
+			}
+			seen[v] = true
+		}
+	}
+	return nil
+}
+
+// Topology is the compile-time knowledge baked into Algorithm 2: the
+// label alphabet and the label-level structure of the system (or family
+// union).
+type Topology struct {
+	// Names is the NAMES list in order.
+	Names []system.Name
+	// PLabels and VLabels are the sorted label alphabets.
+	PLabels []int
+	VLabels []int
+	// InitOfProc / InitOfVar give each label's initial state (well
+	// defined because similarity labelings are stable).
+	InitOfProc map[int]string
+	InitOfVar  map[int]string
+	// NbrLabel maps (procLabel, nameIdx) to the label of the n-neighbor.
+	NbrLabel map[[2]int]int
+	// NeighborhoodSize maps (nameIdx, procLabel, varLabel) to the number
+	// of n-edges from procLabel-processors incident on one
+	// varLabel-variable (the paper's neighborhood_size(n, α, β)).
+	NeighborhoodSize map[[3]int]int
+}
+
+// NSize returns neighborhood_size(n, α, β) (0 when absent).
+func (t *Topology) NSize(nameIdx, procLabel, varLabel int) int {
+	return t.NeighborhoodSize[[3]int{nameIdx, procLabel, varLabel}]
+}
+
+// TopologyFromSystem builds the Topology of a single system under its
+// similarity labeling.
+func TopologyFromSystem(sys *system.System, lab *core.Labeling) (*Topology, error) {
+	if len(lab.ProcLabels) != sys.NumProcs() || len(lab.VarLabels) != sys.NumVars() {
+		return nil, ErrShape
+	}
+	return buildTopology([]*system.System{sys}, [][]int{lab.ProcLabels}, [][]int{lab.VarLabels})
+}
+
+// TopologyFromFamily builds the Topology of a family under its shared
+// (union) labeling.
+func TopologyFromFamily(fam *family.Family, labs []*family.MemberLabeling) (*Topology, error) {
+	if len(labs) != len(fam.Members) {
+		return nil, ErrShape
+	}
+	procLabels := make([][]int, len(labs))
+	varLabels := make([][]int, len(labs))
+	for i, ml := range labs {
+		if len(ml.ProcLabels) != fam.Members[i].NumProcs() || len(ml.VarLabels) != fam.Members[i].NumVars() {
+			return nil, ErrShape
+		}
+		procLabels[i] = ml.ProcLabels
+		varLabels[i] = ml.VarLabels
+	}
+	return buildTopology(fam.Members, procLabels, varLabels)
+}
+
+func buildTopology(members []*system.System, procLabels, varLabels [][]int) (*Topology, error) {
+	t := &Topology{
+		Names:            append([]system.Name(nil), members[0].Names...),
+		InitOfProc:       make(map[int]string),
+		InitOfVar:        make(map[int]string),
+		NbrLabel:         make(map[[2]int]int),
+		NeighborhoodSize: make(map[[3]int]int),
+	}
+	pSeen := make(map[int]bool)
+	vSeen := make(map[int]bool)
+	// Per-variable neighborhood counts, then checked for consistency
+	// across same-labeled variables.
+	type varKey struct{ member, v int }
+	perVar := make(map[varKey]map[[2]int]int)
+
+	for mi, sys := range members {
+		for p := 0; p < sys.NumProcs(); p++ {
+			pl := procLabels[mi][p]
+			if !pSeen[pl] {
+				pSeen[pl] = true
+				t.PLabels = append(t.PLabels, pl)
+				t.InitOfProc[pl] = sys.ProcInit[p]
+			} else if t.InitOfProc[pl] != sys.ProcInit[p] {
+				return nil, fmt.Errorf("%w: processor label %d has inits %q and %q",
+					ErrUnstable, pl, t.InitOfProc[pl], sys.ProcInit[p])
+			}
+			for j, v := range sys.Nbr[p] {
+				vl := varLabels[mi][v]
+				key := [2]int{pl, j}
+				if prev, ok := t.NbrLabel[key]; ok {
+					if prev != vl {
+						return nil, fmt.Errorf("%w: label %d's %s-neighbor labeled both %d and %d",
+							ErrUnstable, pl, sys.Names[j], prev, vl)
+					}
+				} else {
+					t.NbrLabel[key] = vl
+				}
+				vk := varKey{mi, v}
+				if perVar[vk] == nil {
+					perVar[vk] = make(map[[2]int]int)
+				}
+				perVar[vk][[2]int{j, pl}]++
+			}
+		}
+		for v := 0; v < sys.NumVars(); v++ {
+			vl := varLabels[mi][v]
+			if !vSeen[vl] {
+				vSeen[vl] = true
+				t.VLabels = append(t.VLabels, vl)
+				t.InitOfVar[vl] = sys.VarInit[v]
+			} else if t.InitOfVar[vl] != sys.VarInit[v] {
+				return nil, fmt.Errorf("%w: variable label %d has inits %q and %q",
+					ErrUnstable, vl, t.InitOfVar[vl], sys.VarInit[v])
+			}
+		}
+	}
+	// Fill NeighborhoodSize and check same-labeled variables agree.
+	filled := make(map[int]map[[2]int]int) // varLabel -> counts
+	for mi, sys := range members {
+		for v := 0; v < sys.NumVars(); v++ {
+			vl := varLabels[mi][v]
+			counts := perVar[varKey{mi, v}]
+			if prev, ok := filled[vl]; ok {
+				if !sameCounts(prev, counts) {
+					return nil, fmt.Errorf("%w: variables labeled %d have different neighborhoods",
+						ErrUnstable, vl)
+				}
+				continue
+			}
+			filled[vl] = counts
+			for k, c := range counts {
+				t.NeighborhoodSize[[3]int{k[0], k[1], vl}] = c
+			}
+		}
+	}
+	sortInts(t.PLabels)
+	sortInts(t.VLabels)
+	return t, nil
+}
+
+func sameCounts(a, b map[[2]int]int) bool {
+	if len(a) != len(b) {
+		return false
+	}
+	for k, v := range a {
+		if b[k] != v {
+			return false
+		}
+	}
+	return true
+}
+
+func sortInts(xs []int) {
+	for i := 1; i < len(xs); i++ {
+		for j := i; j > 0 && xs[j] < xs[j-1]; j-- {
+			xs[j], xs[j-1] = xs[j-1], xs[j]
+		}
+	}
+}

@@ -1,0 +1,284 @@
+package experiments
+
+import (
+	"strings"
+	"testing"
+)
+
+func TestE1Fig1(t *testing.T) {
+	tbl, err := E1Fig1()
+	if err != nil {
+		t.Fatal(err)
+	}
+	assertCell(t, tbl, "similarity classes (Q)", "1 (p ~ q: true)")
+	assertCell(t, tbl, "selection in Q (fair)", "no")
+	assertCell(t, tbl, "selection in S (bounded-fair)", "no")
+	assertCell(t, tbl, "selection in L (fair)", "yes")
+	assertCell(t, tbl, "round-robin witness", "40/40 random programs stayed in lock step")
+}
+
+func TestE2Alibi(t *testing.T) {
+	tbl, err := E2Alibi(3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(tbl.Rows) != 3 {
+		t.Fatalf("rows = %d", len(tbl.Rows))
+	}
+	for _, row := range tbl.Rows {
+		if row[2] != "yes" {
+			t.Errorf("seed %s: labels not learned", row[0])
+		}
+	}
+}
+
+func TestE3Mimic(t *testing.T) {
+	tbl, err := E3Mimic()
+	if err != nil {
+		t.Fatal(err)
+	}
+	assertCell(t, tbl, "bounded-fair similarity classes", "3")
+	assertCell(t, tbl, "processors mimicking nobody", "0")
+	assertCell(t, tbl, "selection, bounded-fair S", "yes")
+	assertCell(t, tbl, "selection, fair S", "no")
+}
+
+func TestE4DP5(t *testing.T) {
+	tbl, err := E4DP5()
+	if err != nil {
+		t.Fatal(err)
+	}
+	assertCell(t, tbl, "|Aut| (graph symmetry)", "5")
+	assertCell(t, tbl, "philosopher orbits", "1")
+	assertCell(t, tbl, "Theorem 11 hypothesis (distributed, prime orbit)", "yes")
+	assertCell(t, tbl, "all-similar labeling is L-supersimilar (Thm 8)", "yes")
+	assertCell(t, tbl, "selection in L", "no")
+	assertCell(t, tbl, "relabel versions", "32")
+	if cell(t, tbl, "left-right program deadlock (round-robin)") == "no" {
+		t.Error("left-right must deadlock")
+	}
+}
+
+func TestE5DP6(t *testing.T) {
+	tbl, err := E5DP6(30_000)
+	if err != nil {
+		t.Fatal(err)
+	}
+	assertCell(t, tbl, "philosopher orbits", "1")
+	assertCell(t, tbl, "fork orbits", "2")
+	assertCell(t, tbl, "philosopher similarity classes (Q)", "1")
+	assertCell(t, tbl, "fork similarity classes (Q)", "2")
+	assertCell(t, tbl, "model check: exclusion violated", "no")
+	assertCell(t, tbl, "model check: deadlock found", "no")
+	assertCell(t, tbl, "round-robin progress (3 meals each)", "yes")
+}
+
+func TestE6Scaling(t *testing.T) {
+	tbl, err := E6Scaling([]int{16, 64}, 64)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(tbl.Rows) != 2 {
+		t.Fatalf("rows = %d", len(tbl.Rows))
+	}
+	// A marked ring separates fully.
+	if tbl.Rows[0][1] != "16" || tbl.Rows[1][1] != "64" {
+		t.Errorf("classes column wrong: %v", tbl.Rows)
+	}
+}
+
+func TestE7FLP(t *testing.T) {
+	tbl, err := E7FLP()
+	if err != nil {
+		t.Fatal(err)
+	}
+	assertCell(t, tbl, "double-selection schedule found", "yes")
+	assertCell(t, tbl, "decision procedure (general schedules)", "no")
+}
+
+func TestE8Hierarchy(t *testing.T) {
+	tbl, err := E8Hierarchy()
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := map[string][]string{
+		"Fig1 (L/Q separator)":      {"yes", "no", "no", "no"},
+		"Fig2 (Q/BF-S separator)":   {"yes", "yes", "no", "no"},
+		"Fig3 (BF-S/F-S separator)": {"yes", "yes", "yes", "no"},
+		"anonymous ring(4)":         {"no", "no", "no", "no"},
+		"marked ring(4)":            {"yes", "yes", "yes", "yes"},
+	}
+	for _, row := range tbl.Rows {
+		expect, ok := want[row[0]]
+		if !ok {
+			t.Errorf("unexpected row %q", row[0])
+			continue
+		}
+		for i, v := range expect {
+			if row[i+1] != v {
+				t.Errorf("%s column %d = %s, want %s", row[0], i+1, row[i+1], v)
+			}
+		}
+	}
+}
+
+func TestE9Randomized(t *testing.T) {
+	tbl, err := E9Randomized(50)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, row := range tbl.Rows {
+		if row[1] == "possible" {
+			t.Errorf("ring %s should be deterministically impossible", row[0])
+		}
+		if !strings.HasPrefix(row[2], "50/50") {
+			t.Errorf("ring %s: IR success = %s", row[0], row[2])
+		}
+	}
+}
+
+func TestE10Orbits(t *testing.T) {
+	tbl, err := E10Orbits()
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, row := range tbl.Rows {
+		if row[4] != "yes" {
+			t.Errorf("%s: orbits must refine similarity (Theorem 10)", row[0])
+		}
+	}
+	// Theorem 11 applies to the prime tables only.
+	primes := map[string]string{
+		"dining(3)": "yes", "dining(5)": "yes", "dining(7)": "yes",
+		"flipped(4)": "no", "flipped(6)": "no",
+	}
+	for _, row := range tbl.Rows {
+		if want, ok := primes[row[0]]; ok && row[5] != want {
+			t.Errorf("%s: Thm11 = %s, want %s", row[0], row[5], want)
+		}
+	}
+}
+
+func TestE11EliteL(t *testing.T) {
+	tbl, err := E11EliteL(3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, row := range tbl.Rows {
+		switch row[0] {
+		case "fig1", "fig2":
+			if row[2] != "yes" {
+				t.Errorf("%s should be solvable in L", row[0])
+			}
+			if !strings.HasPrefix(row[4], "3/3") {
+				t.Errorf("%s: runs = %s", row[0], row[4])
+			}
+		case "ring(4)", "dining(5)":
+			if row[2] != "no" {
+				t.Errorf("%s should be unsolvable in L", row[0])
+			}
+		}
+	}
+}
+
+func TestE12MsgPass(t *testing.T) {
+	tbl, err := E12MsgPass()
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, row := range tbl.Rows {
+		switch row[0] {
+		case "directed ring(5)":
+			if row[1] != "1" || row[2] != "0" || row[4] != "no" {
+				t.Errorf("directed ring row wrong: %v", row)
+			}
+		case "marked ring(5)":
+			if row[1] != "5" || row[2] != "5" || row[4] != "yes" {
+				t.Errorf("marked ring row wrong: %v", row)
+			}
+		case "chain(4)":
+			if row[2] != "4" {
+				t.Errorf("chain unique procs = %s, want 4", row[2])
+			}
+			if row[5] != "1" {
+				t.Errorf("chain safe deciders = %s, want 1", row[5])
+			}
+		}
+	}
+}
+
+func TestE13Encapsulated(t *testing.T) {
+	tbl, err := E13Encapsulated()
+	if err != nil {
+		t.Fatal(err)
+	}
+	assertCell(t, tbl, "adjacent similar pairs (oriented init)", "0")
+	assertCell(t, tbl, "cyclic orientation accepted", "no (precondition enforced)")
+	if got := cell(t, tbl, "all 5 philosophers ate 3 meals"); got[:3] != "yes" {
+		t.Errorf("progress = %q", got)
+	}
+}
+
+func TestE14CSP(t *testing.T) {
+	tbl, err := E14CSP()
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := map[string][2]string{
+		"pair (Fig1 as CSP)": {"no", "yes"},
+		"anonymous ring(4)":  {"no", "no"},
+		"marked ring(5)":     {"yes", "yes"},
+	}
+	for _, row := range tbl.Rows {
+		w, ok := want[row[0]]
+		if !ok {
+			t.Errorf("unexpected row %q", row[0])
+			continue
+		}
+		if row[1] != w[0] || row[2] != w[1] {
+			t.Errorf("%s = (%s,%s), want (%s,%s)", row[0], row[1], row[2], w[0], w[1])
+		}
+	}
+}
+
+func TestE15AlgorithmS(t *testing.T) {
+	tbl, err := E15AlgorithmS(3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, row := range tbl.Rows {
+		if row[2] != "yes" {
+			t.Errorf("seed %s: labels not learned", row[0])
+		}
+	}
+}
+
+func TestRenderShapes(t *testing.T) {
+	tbl := &Table{ID: "X", Title: "t", Header: []string{"a", "b"}}
+	tbl.AddRow("1", "2")
+	tbl.Note("hello %d", 42)
+	out := tbl.Render()
+	for _, want := range []string{"== X: t ==", "a", "1", "note: hello 42"} {
+		if !strings.Contains(out, want) {
+			t.Errorf("render missing %q:\n%s", want, out)
+		}
+	}
+}
+
+func cell(t *testing.T, tbl *Table, key string) string {
+	t.Helper()
+	for _, row := range tbl.Rows {
+		if row[0] == key {
+			return row[1]
+		}
+	}
+	t.Fatalf("table %s has no row %q:\n%s", tbl.ID, key, tbl.Render())
+	return ""
+}
+
+func assertCell(t *testing.T, tbl *Table, key, want string) {
+	t.Helper()
+	if got := cell(t, tbl, key); got != want {
+		t.Errorf("%s[%q] = %q, want %q", tbl.ID, key, got, want)
+	}
+}

@@ -1,0 +1,88 @@
+package machine
+
+import (
+	"testing"
+
+	"simsym/internal/system"
+)
+
+// BenchmarkStepQ measures raw per-instruction cost of the Q machine on a
+// post/peek loop.
+func BenchmarkStepQ(b *testing.B) {
+	s := system.Fig2()
+	bl := NewBuilder()
+	bl.Label("loop")
+	bl.Post("n", "init")
+	bl.Peek("n", "x")
+	bl.Post("m", "init")
+	bl.Peek("m", "y")
+	bl.Jump("loop")
+	prog, err := bl.Build()
+	if err != nil {
+		b.Fatal(err)
+	}
+	m, err := New(s, system.InstrQ, prog)
+	if err != nil {
+		b.Fatal(err)
+	}
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		if err := m.Step(i % 3); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// BenchmarkFingerprint measures the incremental whole-state fingerprint
+// after single steps (the model checker's hot path).
+func BenchmarkFingerprint(b *testing.B) {
+	s := system.Fig2()
+	bl := NewBuilder()
+	bl.Label("loop")
+	bl.Post("n", "init")
+	bl.Peek("n", "x")
+	bl.Jump("loop")
+	prog, err := bl.Build()
+	if err != nil {
+		b.Fatal(err)
+	}
+	m, err := New(s, system.InstrQ, prog)
+	if err != nil {
+		b.Fatal(err)
+	}
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		if err := m.Step(i % 3); err != nil {
+			b.Fatal(err)
+		}
+		_ = m.Fingerprint()
+	}
+}
+
+// BenchmarkClone measures snapshot cost (copy-on-write sharing).
+func BenchmarkClone(b *testing.B) {
+	s := system.Fig2()
+	bl := NewBuilder()
+	bl.Compute(func(loc Locals) { loc["a"] = 1; loc["b"] = "x" })
+	bl.Post("n", "init")
+	bl.Halt()
+	prog, err := bl.Build()
+	if err != nil {
+		b.Fatal(err)
+	}
+	m, err := New(s, system.InstrQ, prog)
+	if err != nil {
+		b.Fatal(err)
+	}
+	for p := 0; p < 3; p++ {
+		for k := 0; k < 3; k++ {
+			if err := m.Step(p); err != nil {
+				b.Fatal(err)
+			}
+		}
+	}
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		_ = m.Clone()
+	}
+}

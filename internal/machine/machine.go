@@ -1,0 +1,369 @@
+package machine
+
+import (
+	"errors"
+	"fmt"
+	"sort"
+
+	"simsym/internal/canon"
+	"simsym/internal/system"
+)
+
+// Sentinel errors for execution.
+var (
+	ErrInstrNotAllowed = errors.New("machine: instruction not in instruction set")
+	ErrBadProcessor    = errors.New("machine: processor index out of range")
+	ErrMissingLocal    = errors.New("machine: local variable not set")
+	ErrBadInstrSet     = errors.New("machine: unsupported instruction set")
+)
+
+// Frame is one processor's private state: program counter plus locals.
+// The frame never records the processor's identity — processors are
+// anonymous, and programs can only distinguish themselves through what
+// they observe.
+type Frame struct {
+	PC     int
+	Locals Locals
+	Halted bool
+}
+
+// qVar is the state of a Q multiset variable: one subvalue per processor
+// that has posted (keyed by processor only for updates; fingerprints see
+// the unordered multiset, as the paper requires).
+type qVar map[int]any
+
+// Machine executes a program over a system.
+type Machine struct {
+	sys     *system.System
+	instr   system.InstrSet
+	program *Program
+
+	frames []Frame
+	// S/L variables: one value each, plus a lock bit for L.
+	varVal []any
+	locked []bool
+	// Q variables: per-processor subvalues.
+	varSub []qVar
+
+	steps int
+
+	// Fingerprint caches: a step touches one processor frame and at most
+	// one variable, so caching makes whole-state fingerprints (the model
+	// checker's hot path) incremental. Empty string means stale.
+	procFP []string
+	varFP  []string
+}
+
+// New initializes a machine: every processor at PC 0 with locals
+// {"init": ProcInit[p]}, every S/L variable holding its initial state,
+// every Q variable with no subvalues.
+func New(sys *system.System, instr system.InstrSet, program *Program) (*Machine, error) {
+	if err := sys.Validate(); err != nil {
+		return nil, fmt.Errorf("machine: %w", err)
+	}
+	switch instr {
+	case system.InstrS, system.InstrL, system.InstrQ, system.InstrExtL:
+	default:
+		return nil, fmt.Errorf("%w: %v", ErrBadInstrSet, instr)
+	}
+	m := &Machine{
+		sys:     sys,
+		instr:   instr,
+		program: program,
+		frames:  make([]Frame, sys.NumProcs()),
+		varVal:  make([]any, sys.NumVars()),
+		locked:  make([]bool, sys.NumVars()),
+		varSub:  make([]qVar, sys.NumVars()),
+		procFP:  make([]string, sys.NumProcs()),
+		varFP:   make([]string, sys.NumVars()),
+	}
+	for p := range m.frames {
+		m.frames[p] = Frame{Locals: Locals{"init": sys.ProcInit[p]}}
+	}
+	for v := range m.varVal {
+		m.varVal[v] = sys.VarInit[v]
+		m.varSub[v] = make(qVar)
+	}
+	return m, nil
+}
+
+// System returns the underlying system.
+func (m *Machine) System() *system.System { return m.sys }
+
+// Steps returns the number of executed steps.
+func (m *Machine) Steps() int { return m.steps }
+
+// Halted reports whether processor p has halted.
+func (m *Machine) Halted(p int) bool { return m.frames[p].Halted }
+
+// AllHalted reports whether every processor has halted.
+func (m *Machine) AllHalted() bool {
+	for p := range m.frames {
+		if !m.frames[p].Halted {
+			return false
+		}
+	}
+	return true
+}
+
+// Local returns processor p's local value (nil, false when unset).
+func (m *Machine) Local(p int, name string) (any, bool) {
+	v, ok := m.frames[p].Locals[name]
+	return v, ok
+}
+
+// allowed reports whether instruction in is legal under m.instr.
+func (m *Machine) allowed(in Instr) bool {
+	switch in.(type) {
+	case Read, Write:
+		return m.instr == system.InstrS || m.instr == system.InstrL || m.instr == system.InstrExtL
+	case Lock, Unlock:
+		return m.instr == system.InstrL || m.instr == system.InstrExtL
+	case Peek, Post:
+		return m.instr == system.InstrQ
+	default:
+		return true // local instructions always allowed
+	}
+}
+
+// Step executes one atomic instruction of processor p (a schedule step).
+// Stepping a halted processor is a legal no-op, matching the paper's
+// schedules which may name any processor at any time.
+func (m *Machine) Step(p int) error {
+	if p < 0 || p >= len(m.frames) {
+		return fmt.Errorf("%w: %d", ErrBadProcessor, p)
+	}
+	m.steps++
+	m.procFP[p] = ""
+	fr := &m.frames[p]
+	if fr.Halted || fr.PC >= m.program.Len() {
+		fr.Halted = true
+		return nil
+	}
+	in := m.program.instrs[fr.PC]
+	if !m.allowed(in) {
+		return fmt.Errorf("%w: %T under %v", ErrInstrNotAllowed, in, m.instr)
+	}
+	switch x := in.(type) {
+	case Read:
+		v, err := m.sys.NNbr(p, x.Name)
+		if err != nil {
+			return err
+		}
+		fr.Locals = fr.Locals.Clone()
+		fr.Locals[x.Dst] = m.varVal[v]
+		fr.PC++
+	case Write:
+		v, err := m.sys.NNbr(p, x.Name)
+		if err != nil {
+			return err
+		}
+		val, ok := fr.Locals[x.Src]
+		if !ok {
+			return fmt.Errorf("%w: %q", ErrMissingLocal, x.Src)
+		}
+		m.varVal[v] = val
+		m.varFP[v] = ""
+		fr.PC++
+	case Lock:
+		v, err := m.sys.NNbr(p, x.Name)
+		if err != nil {
+			return err
+		}
+		fr.Locals = fr.Locals.Clone()
+		if m.locked[v] {
+			fr.Locals[x.Dst] = false
+		} else {
+			m.locked[v] = true
+			m.varFP[v] = ""
+			fr.Locals[x.Dst] = true
+		}
+		fr.PC++
+	case Unlock:
+		v, err := m.sys.NNbr(p, x.Name)
+		if err != nil {
+			return err
+		}
+		m.locked[v] = false
+		m.varFP[v] = ""
+		fr.PC++
+	case Peek:
+		v, err := m.sys.NNbr(p, x.Name)
+		if err != nil {
+			return err
+		}
+		fr.Locals = fr.Locals.Clone()
+		fr.Locals[x.Dst] = m.peekValue(v)
+		fr.PC++
+	case Post:
+		v, err := m.sys.NNbr(p, x.Name)
+		if err != nil {
+			return err
+		}
+		val, ok := fr.Locals[x.Src]
+		if !ok {
+			return fmt.Errorf("%w: %q", ErrMissingLocal, x.Src)
+		}
+		// Copy-on-write so snapshots are not aliased.
+		nv := make(qVar, len(m.varSub[v])+1)
+		for k, s := range m.varSub[v] {
+			nv[k] = s
+		}
+		nv[p] = val
+		m.varSub[v] = nv
+		m.varFP[v] = ""
+		fr.PC++
+	case Compute:
+		fr.Locals = fr.Locals.Clone()
+		x.F(fr.Locals)
+		fr.PC++
+	case JumpIf:
+		if x.Cond(fr.Locals) {
+			fr.PC = m.program.targets[x.Target]
+		} else {
+			fr.PC++
+		}
+	case Jump:
+		fr.PC = m.program.targets[x.Target]
+	case Halt:
+		fr.Halted = true
+	default:
+		return fmt.Errorf("machine: unknown instruction %T", in)
+	}
+	return nil
+}
+
+// peekValue builds the PeekResult for variable v: init state plus the
+// subvalue multiset sorted canonically (the paper's unordered multiset).
+func (m *Machine) peekValue(v int) PeekResult {
+	vals := make([]any, 0, len(m.varSub[v]))
+	for _, s := range m.varSub[v] {
+		vals = append(vals, s)
+	}
+	sort.Slice(vals, func(a, b int) bool {
+		return canon.String(vals[a]) < canon.String(vals[b])
+	})
+	return PeekResult{Init: m.sys.VarInit[v], Values: vals}
+}
+
+// Run executes the schedule (a sequence of processor indices) from the
+// current state, stopping early if every processor halts. It returns the
+// number of steps actually executed.
+func (m *Machine) Run(schedule []int) (int, error) {
+	done := 0
+	for _, p := range schedule {
+		if m.AllHalted() {
+			return done, nil
+		}
+		if err := m.Step(p); err != nil {
+			return done, err
+		}
+		done++
+	}
+	return done, nil
+}
+
+// ProcFingerprint returns the canonical encoding of processor p's state
+// (program counter + locals). Two processors "have the same state" in the
+// paper's sense exactly when their fingerprints are equal.
+func (m *Machine) ProcFingerprint(p int) string {
+	if m.procFP[p] == "" {
+		fr := m.frames[p]
+		m.procFP[p] = canon.String(map[string]any{
+			"pc":     fr.PC,
+			"halted": fr.Halted,
+			"locals": localsForCanon(fr.Locals),
+		})
+	}
+	return m.procFP[p]
+}
+
+// VarFingerprint returns the canonical encoding of variable v's state.
+// Q subvalues are encoded as an unordered multiset.
+func (m *Machine) VarFingerprint(v int) string {
+	if m.varFP[v] != "" {
+		return m.varFP[v]
+	}
+	if m.instr == system.InstrQ {
+		ms := make(canon.Multiset, 0, len(m.varSub[v]))
+		for _, s := range m.varSub[v] {
+			ms = append(ms, s)
+		}
+		m.varFP[v] = canon.String(map[string]any{"init": m.sys.VarInit[v], "sub": ms})
+	} else {
+		m.varFP[v] = canon.String(map[string]any{
+			"val":    m.varVal[v],
+			"locked": m.locked[v],
+		})
+	}
+	return m.varFP[v]
+}
+
+// Fingerprint returns the canonical encoding of the whole machine state
+// (all frames and all variables). Used as the model checker's visited-set
+// key.
+func (m *Machine) Fingerprint() string {
+	procs := make([]any, len(m.frames))
+	for p := range m.frames {
+		procs[p] = m.ProcFingerprint(p)
+	}
+	vars := make([]any, len(m.varVal))
+	for v := range m.varVal {
+		vars[v] = m.VarFingerprint(v)
+	}
+	return canon.String([]any{procs, vars})
+}
+
+// localsForCanon converts Locals to a plain map for canonical encoding,
+// expanding PeekResult into a canonical shape.
+func localsForCanon(l Locals) map[string]any {
+	out := make(map[string]any, len(l))
+	for k, v := range l {
+		out[k] = valueForCanon(v)
+	}
+	return out
+}
+
+func valueForCanon(v any) any {
+	if pr, ok := v.(PeekResult); ok {
+		ms := make(canon.Multiset, len(pr.Values))
+		copy(ms, pr.Values)
+		return map[string]any{"peek_init": pr.Init, "peek_vals": ms}
+	}
+	return v
+}
+
+// Clone returns an independent deep copy of the machine sharing only the
+// immutable program and system.
+func (m *Machine) Clone() *Machine {
+	c := &Machine{
+		sys:     m.sys,
+		instr:   m.instr,
+		program: m.program,
+		frames:  make([]Frame, len(m.frames)),
+		varVal:  append([]any(nil), m.varVal...),
+		locked:  append([]bool(nil), m.locked...),
+		varSub:  make([]qVar, len(m.varSub)),
+		steps:   m.steps,
+		procFP:  append([]string(nil), m.procFP...),
+		varFP:   append([]string(nil), m.varFP...),
+	}
+	// Locals and subvalue maps are copy-on-write (every mutating
+	// instruction replaces the map before writing), so clones can share
+	// them; this is what makes model-checker expansion cheap.
+	copy(c.frames, m.frames)
+	copy(c.varSub, m.varSub)
+	return c
+}
+
+// SelectedProcs returns the processors whose local "selected" is true —
+// the paper's selected_p flag (section 3).
+func (m *Machine) SelectedProcs() []int {
+	var out []int
+	for p := range m.frames {
+		if sel, ok := m.frames[p].Locals["selected"].(bool); ok && sel {
+			out = append(out, p)
+		}
+	}
+	return out
+}

@@ -1,0 +1,234 @@
+// Package machine executes the paper's system model: processors running a
+// single shared program over a network of shared variables, one atomic
+// instruction per schedule step (section 2).
+//
+// Programs are small instruction lists. All processors run the same
+// program — the model's anonymity requirement: "processors in the same
+// state execute the same instruction". A processor's state is its program
+// counter plus its local variables; the machine can fingerprint any node's
+// state canonically, which is how the paper's similarity claims ("same
+// state at the same time infinitely often") are checked empirically.
+//
+// Instruction sets are enforced: S programs may only read/write, L adds
+// lock/unlock, and Q replaces read/write with peek/post on multiset
+// variables.
+package machine
+
+import (
+	"errors"
+	"fmt"
+
+	"simsym/internal/system"
+)
+
+// Locals is a processor's local-variable store. By convention, Compute
+// functions must treat non-scalar values as immutable: replace them,
+// never mutate in place (machine snapshots share value structure).
+type Locals map[string]any
+
+// Clone returns a shallow copy (values are immutable by convention).
+func (l Locals) Clone() Locals {
+	out := make(Locals, len(l))
+	for k, v := range l {
+		out[k] = v
+	}
+	return out
+}
+
+// Instr is one atomic instruction.
+type Instr interface{ isInstr() }
+
+// Read loads the value of the shared variable called Name into local Dst.
+// Requires instruction set S or L.
+type Read struct {
+	Name system.Name
+	Dst  string
+}
+
+// Write stores local Src into the shared variable called Name. Requires S
+// or L.
+type Write struct {
+	Name system.Name
+	Src  string
+}
+
+// Lock attempts to set the lock bit of the variable called Name, storing
+// true into Dst if the bit was clear (acquisition succeeded) and false if
+// it was already set. Requires L.
+type Lock struct {
+	Name system.Name
+	Dst  string
+}
+
+// Unlock clears the lock bit of the variable called Name. Requires L.
+type Unlock struct {
+	Name system.Name
+}
+
+// Peek loads the state of the multiset variable called Name into Dst as a
+// PeekResult. Requires Q.
+type Peek struct {
+	Name system.Name
+	Dst  string
+}
+
+// Post stores local Src as this processor's subvalue in the multiset
+// variable called Name. Requires Q.
+type Post struct {
+	Name system.Name
+	Src  string
+}
+
+// Compute runs an arbitrary local instruction. F must be deterministic,
+// must not mutate values in place, and must not capture mutable state —
+// it sees and edits only the processor's locals.
+type Compute struct {
+	F func(loc Locals)
+}
+
+// JumpIf transfers control to the instruction labeled Target when Cond
+// evaluates true on the locals. Cond must be deterministic and read-only.
+type JumpIf struct {
+	Cond   func(loc Locals) bool
+	Target string
+}
+
+// Jump unconditionally transfers control to Target.
+type Jump struct {
+	Target string
+}
+
+// Halt stops the processor; further steps are no-ops.
+type Halt struct{}
+
+func (Read) isInstr()    {}
+func (Write) isInstr()   {}
+func (Lock) isInstr()    {}
+func (Unlock) isInstr()  {}
+func (Peek) isInstr()    {}
+func (Post) isInstr()    {}
+func (Compute) isInstr() {}
+func (JumpIf) isInstr()  {}
+func (Jump) isInstr()    {}
+func (Halt) isInstr()    {}
+
+// PeekResult is what Peek stores: the variable's initial state plus the
+// current multiset of subvalues. The multiset is stored canonically
+// encoded so that processor states compare correctly.
+type PeekResult struct {
+	Init   string
+	Values []any // sorted by canonical encoding at peek time
+}
+
+// Program is a resolved instruction sequence.
+type Program struct {
+	instrs  []Instr
+	targets map[string]int
+}
+
+// Len returns the number of instructions.
+func (p *Program) Len() int { return len(p.instrs) }
+
+// Sentinel errors for program construction.
+var (
+	ErrUnknownLabel = errors.New("machine: jump to unknown label")
+	ErrDupLabel     = errors.New("machine: duplicate label")
+	ErrEmptyProgram = errors.New("machine: empty program")
+)
+
+// Builder assembles a Program with named labels.
+type Builder struct {
+	instrs []Instr
+	labels map[string]int
+}
+
+// NewBuilder returns an empty program builder.
+func NewBuilder() *Builder {
+	return &Builder{labels: make(map[string]int)}
+}
+
+// Label marks the next instruction with a name (jump target).
+func (b *Builder) Label(name string) *Builder {
+	b.labels[name] = len(b.instrs)
+	return b
+}
+
+// Emit appends an instruction.
+func (b *Builder) Emit(i Instr) *Builder {
+	b.instrs = append(b.instrs, i)
+	return b
+}
+
+// Read appends a Read instruction.
+func (b *Builder) Read(name system.Name, dst string) *Builder {
+	return b.Emit(Read{Name: name, Dst: dst})
+}
+
+// Write appends a Write instruction.
+func (b *Builder) Write(name system.Name, src string) *Builder {
+	return b.Emit(Write{Name: name, Src: src})
+}
+
+// Lock appends a Lock instruction.
+func (b *Builder) Lock(name system.Name, dst string) *Builder {
+	return b.Emit(Lock{Name: name, Dst: dst})
+}
+
+// Unlock appends an Unlock instruction.
+func (b *Builder) Unlock(name system.Name) *Builder {
+	return b.Emit(Unlock{Name: name})
+}
+
+// Peek appends a Peek instruction.
+func (b *Builder) Peek(name system.Name, dst string) *Builder {
+	return b.Emit(Peek{Name: name, Dst: dst})
+}
+
+// Post appends a Post instruction.
+func (b *Builder) Post(name system.Name, src string) *Builder {
+	return b.Emit(Post{Name: name, Src: src})
+}
+
+// Compute appends a local computation.
+func (b *Builder) Compute(f func(loc Locals)) *Builder {
+	return b.Emit(Compute{F: f})
+}
+
+// JumpIf appends a conditional jump.
+func (b *Builder) JumpIf(cond func(loc Locals) bool, target string) *Builder {
+	return b.Emit(JumpIf{Cond: cond, Target: target})
+}
+
+// Jump appends an unconditional jump.
+func (b *Builder) Jump(target string) *Builder {
+	return b.Emit(Jump{Target: target})
+}
+
+// Halt appends a Halt.
+func (b *Builder) Halt() *Builder {
+	return b.Emit(Halt{})
+}
+
+// Build resolves labels and returns the program.
+func (b *Builder) Build() (*Program, error) {
+	if len(b.instrs) == 0 {
+		return nil, ErrEmptyProgram
+	}
+	targets := make(map[string]int, len(b.labels))
+	for name, idx := range b.labels {
+		targets[name] = idx
+	}
+	for pc, in := range b.instrs {
+		switch x := in.(type) {
+		case JumpIf:
+			if _, ok := targets[x.Target]; !ok {
+				return nil, fmt.Errorf("%w: %q at pc %d", ErrUnknownLabel, x.Target, pc)
+			}
+		case Jump:
+			if _, ok := targets[x.Target]; !ok {
+				return nil, fmt.Errorf("%w: %q at pc %d", ErrUnknownLabel, x.Target, pc)
+			}
+		}
+	}
+	return &Program{instrs: append([]Instr(nil), b.instrs...), targets: targets}, nil
+}

@@ -1,0 +1,102 @@
+package machine
+
+import (
+	"fmt"
+	"math/rand"
+
+	"simsym/internal/canon"
+	"simsym/internal/system"
+)
+
+// RandomProgram generates a pseudo-random deterministic program valid for
+// the given instruction set and name alphabet. It is used to fuzz the
+// similarity witness: Theorem 4's claim is universally quantified over
+// programs, so arbitrary programs must keep same-labeled nodes in lock
+// step under a class-sorted round-robin schedule.
+//
+// Generated programs use a fixed set of local slots, total (possibly
+// looping) control flow, and Compute steps drawn from a deterministic
+// combinator library. All randomness is in program construction; the
+// produced program itself is deterministic.
+func RandomProgram(rng *rand.Rand, names []system.Name, instr system.InstrSet, length int) (*Program, error) {
+	if length < 1 {
+		return nil, fmt.Errorf("%w: length %d", ErrEmptyProgram, length)
+	}
+	slots := []string{"a", "b", "c"}
+	b := NewBuilder()
+	// Every program starts by defining its slots so reads never fail.
+	b.Compute(func(loc Locals) {
+		loc["a"] = 0
+		loc["b"] = ""
+		loc["c"] = loc["init"]
+	})
+	for i := 0; i < length; i++ {
+		b.Label(fmt.Sprintf("i%d", i))
+		name := names[rng.Intn(len(names))]
+		src := slots[rng.Intn(len(slots))]
+		dst := slots[rng.Intn(len(slots))]
+		var choices []func()
+		addShared := func() {
+			switch instr {
+			case system.InstrQ:
+				choices = append(choices,
+					func() { b.Post(name, src) },
+					func() { b.Peek(name, dst) },
+				)
+			default:
+				choices = append(choices,
+					func() { b.Write(name, src) },
+					func() { b.Read(name, dst) },
+				)
+				if instr == system.InstrL || instr == system.InstrExtL {
+					choices = append(choices,
+						func() { b.Lock(name, dst) },
+						func() { b.Unlock(name) },
+					)
+				}
+			}
+		}
+		addShared()
+		addShared() // weight shared accesses double
+		kind := rng.Intn(4)
+		choices = append(choices,
+			func() {
+				switch kind {
+				case 0:
+					b.Compute(func(loc Locals) { loc[dst] = canon.String(loc[src]) })
+				case 1:
+					b.Compute(func(loc Locals) {
+						if n, ok := loc[dst].(int); ok {
+							loc[dst] = n + 1
+						} else {
+							loc[dst] = 1
+						}
+					})
+				case 2:
+					b.Compute(func(loc Locals) { loc[dst] = loc[src] })
+				default:
+					b.Compute(func(loc Locals) { loc[dst] = canon.Hash([]any{loc["a"], loc["b"], loc["c"]}) % 97 })
+				}
+			},
+			func() {
+				// Bounded backward jump: loop while a counter is small.
+				target := fmt.Sprintf("i%d", rng.Intn(i+1))
+				bound := 1 + rng.Intn(5)
+				ctr := fmt.Sprintf("ctr%d", i)
+				b.Compute(func(loc Locals) {
+					if _, ok := loc[ctr].(int); !ok {
+						loc[ctr] = 0
+					}
+					loc[ctr] = loc[ctr].(int) + 1
+				})
+				b.JumpIf(func(loc Locals) bool {
+					n, _ := loc[ctr].(int)
+					return n < bound
+				}, target)
+			},
+		)
+		choices[rng.Intn(len(choices))]()
+	}
+	b.Halt()
+	return b.Build()
+}

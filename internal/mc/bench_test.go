@@ -1,0 +1,44 @@
+package mc
+
+import (
+	"testing"
+
+	"simsym/internal/machine"
+	"simsym/internal/system"
+)
+
+// BenchmarkCheckThroughput measures model-checker state throughput on
+// the Figure 5 four-philosopher table (a closed ~42k-state space).
+func BenchmarkCheckThroughput(b *testing.B) {
+	s, err := system.DiningFlipped(4)
+	if err != nil {
+		b.Fatal(err)
+	}
+	bl := machine.NewBuilder()
+	bl.Label("grab1")
+	bl.Lock("left", "_g1")
+	bl.JumpIf(func(loc machine.Locals) bool { return loc["_g1"] != true }, "grab1")
+	bl.Label("grab2")
+	bl.Lock("right", "_g2")
+	bl.JumpIf(func(loc machine.Locals) bool { return loc["_g2"] != true }, "grab2")
+	bl.Unlock("right")
+	bl.Unlock("left")
+	bl.Halt()
+	prog, err := bl.Build()
+	if err != nil {
+		b.Fatal(err)
+	}
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		res, err := Check(func() (*machine.Machine, error) {
+			return machine.New(s, system.InstrL, prog)
+		}, Options{MaxStates: 500_000, StuckBad: NotAllHalted})
+		if err != nil {
+			b.Fatal(err)
+		}
+		if !res.Complete {
+			b.Fatal("space should close")
+		}
+		b.ReportMetric(float64(res.StatesExplored), "states/op")
+	}
+}

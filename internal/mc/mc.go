@@ -1,0 +1,348 @@
+// Package mc is an explicit-state model checker over schedule
+// nondeterminism: it explores every reachable machine state under every
+// finite schedule (breadth-first, deduplicated by canonical state
+// fingerprints) and checks safety predicates.
+//
+// Safety over all finite schedules is exactly the right notion for the
+// paper's selection problem: every finite step sequence is a prefix of
+// some fair schedule, so Uniqueness and Stability under fair (or
+// bounded-fair) schedules hold iff no reachable state violates them. The
+// checker additionally finds stuck terminal components — sets of states
+// (deadlocks or spin livelocks) that, once entered, can never be left and
+// never reach a good state — which is how dining-philosopher deadlocks
+// are detected. Violating schedules are reconstructed; Theorem 1's
+// adversary (the FLP construction) falls out as a reachability witness.
+package mc
+
+import (
+	"errors"
+	"fmt"
+
+	"simsym/internal/machine"
+)
+
+// Sentinel errors.
+var (
+	ErrBudget = errors.New("mc: state budget exhausted before closure")
+)
+
+// StatePredicate inspects a state; a non-empty return is a violation
+// description.
+type StatePredicate func(m *machine.Machine) string
+
+// TransitionPredicate inspects a transition (before --proc--> after); a
+// non-empty return is a violation description.
+type TransitionPredicate func(before, after *machine.Machine, proc int) string
+
+// Options configures a check.
+type Options struct {
+	// MaxStates bounds exploration; 0 means the default (200_000).
+	MaxStates int
+	// States are violations when any StatePredicate flags them.
+	StatePreds []StatePredicate
+	// Transitions are violations when any TransitionPredicate flags them.
+	TransPreds []TransitionPredicate
+	// StuckBad, when non-nil, is evaluated on every state; after the
+	// state space closes, a terminal strongly-connected component all of
+	// whose states are flagged is reported as a violation. This catches
+	// both quiescent deadlocks and busy-waiting livelocks: once inside
+	// such a component, no schedule can ever reach an unflagged state.
+	StuckBad StatePredicate
+}
+
+// DefaultMaxStates is the default exploration budget.
+const DefaultMaxStates = 200_000
+
+// Violation describes a found counterexample.
+type Violation struct {
+	// Reason is the predicate's description.
+	Reason string
+	// Schedule is a step sequence from the initial state reaching the
+	// violating state (for transition violations, the final step is the
+	// violating one).
+	Schedule []int
+}
+
+// Result summarizes a check.
+type Result struct {
+	// StatesExplored counts distinct states visited.
+	StatesExplored int
+	// Complete is true when the reachable state space was exhausted
+	// within budget, making the absence of violations a proof.
+	Complete bool
+	// Violation is nil if no predicate fired.
+	Violation *Violation
+}
+
+// node is interned exploration bookkeeping.
+type node struct {
+	parent int // index of parent node; -1 for root
+	step   int // processor stepped to reach this state
+	stuck  string
+	succs  []int
+}
+
+// Check explores all schedules of the machine produced by factory().
+// The factory must return a fresh machine in its initial state on every
+// call (Check calls it once).
+func Check(factory func() (*machine.Machine, error), opts Options) (*Result, error) {
+	m0, err := factory()
+	if err != nil {
+		return nil, fmt.Errorf("mc: %w", err)
+	}
+	maxStates := opts.MaxStates
+	if maxStates <= 0 {
+		maxStates = DefaultMaxStates
+	}
+	nProcs := m0.System().NumProcs()
+
+	index := make(map[string]int)
+	var nodes []node
+	var frontier []*machine.Machine
+	var frontierIdx []int
+
+	res := &Result{}
+
+	push := func(m *machine.Machine, fp string, parent, step int) int {
+		idx := len(nodes)
+		index[fp] = idx
+		stuck := ""
+		if opts.StuckBad != nil {
+			stuck = opts.StuckBad(m)
+		}
+		nodes = append(nodes, node{parent: parent, step: step, stuck: stuck})
+		frontier = append(frontier, m)
+		frontierIdx = append(frontierIdx, idx)
+		res.StatesExplored++
+		return idx
+	}
+
+	scheduleTo := func(idx int) []int {
+		var rev []int
+		for idx >= 0 && nodes[idx].parent >= 0 {
+			rev = append(rev, nodes[idx].step)
+			idx = nodes[idx].parent
+		}
+		out := make([]int, len(rev))
+		for i := range rev {
+			out[i] = rev[len(rev)-1-i]
+		}
+		return out
+	}
+
+	checkState := func(m *machine.Machine, idx int) *Violation {
+		for _, pred := range opts.StatePreds {
+			if reason := pred(m); reason != "" {
+				return &Violation{Reason: reason, Schedule: scheduleTo(idx)}
+			}
+		}
+		return nil
+	}
+
+	rootIdx := push(m0, m0.Fingerprint(), -1, -1)
+	if v := checkState(m0, rootIdx); v != nil {
+		res.Violation = v
+		return res, nil
+	}
+
+	for head := 0; head < len(frontier); head++ {
+		cur := frontier[head]
+		curIdx := frontierIdx[head]
+		frontier[head] = nil // allow GC of expanded states
+		curFP := cur.Fingerprint()
+		for p := 0; p < nProcs; p++ {
+			next := cur.Clone()
+			if err := next.Step(p); err != nil {
+				return nil, fmt.Errorf("mc: stepping %d: %w", p, err)
+			}
+			nextFP := next.Fingerprint()
+			if nextFP == curFP {
+				continue // self-loop (halted or no-effect step)
+			}
+			for _, pred := range opts.TransPreds {
+				if reason := pred(cur, next, p); reason != "" {
+					res.Violation = &Violation{
+						Reason:   reason,
+						Schedule: append(scheduleTo(curIdx), p),
+					}
+					return res, nil
+				}
+			}
+			nextIdx, seen := index[nextFP]
+			if !seen {
+				nextIdx = push(next, nextFP, curIdx, p)
+				if v := checkState(next, nextIdx); v != nil {
+					res.Violation = v
+					return res, nil
+				}
+				if res.StatesExplored > maxStates {
+					return res, fmt.Errorf("%w: %d states", ErrBudget, res.StatesExplored)
+				}
+			}
+			nodes[curIdx].succs = append(nodes[curIdx].succs, nextIdx)
+		}
+	}
+	res.Complete = true
+
+	if opts.StuckBad != nil {
+		if idx, reason := findStuckComponent(nodes); idx >= 0 {
+			res.Violation = &Violation{
+				Reason:   "stuck: " + reason,
+				Schedule: scheduleTo(idx),
+			}
+		}
+	}
+	return res, nil
+}
+
+// findStuckComponent runs Tarjan's SCC algorithm (iteratively) and
+// returns a representative node of the first terminal SCC whose states
+// are all flagged stuck, or (-1, "").
+func findStuckComponent(nodes []node) (int, string) {
+	n := len(nodes)
+	const unvisited = -1
+	indexOf := make([]int, n)
+	low := make([]int, n)
+	onStack := make([]bool, n)
+	comp := make([]int, n)
+	for i := range indexOf {
+		indexOf[i] = unvisited
+		comp[i] = -1
+	}
+	var stack []int
+	counter := 0
+	nComps := 0
+
+	type frame struct {
+		v, childPos int
+	}
+	for start := 0; start < n; start++ {
+		if indexOf[start] != unvisited {
+			continue
+		}
+		callStack := []frame{{v: start}}
+		indexOf[start] = counter
+		low[start] = counter
+		counter++
+		stack = append(stack, start)
+		onStack[start] = true
+		for len(callStack) > 0 {
+			fr := &callStack[len(callStack)-1]
+			v := fr.v
+			if fr.childPos < len(nodes[v].succs) {
+				w := nodes[v].succs[fr.childPos]
+				fr.childPos++
+				if indexOf[w] == unvisited {
+					indexOf[w] = counter
+					low[w] = counter
+					counter++
+					stack = append(stack, w)
+					onStack[w] = true
+					callStack = append(callStack, frame{v: w})
+				} else if onStack[w] {
+					if indexOf[w] < low[v] {
+						low[v] = indexOf[w]
+					}
+				}
+				continue
+			}
+			// Post-visit.
+			callStack = callStack[:len(callStack)-1]
+			if len(callStack) > 0 {
+				parent := callStack[len(callStack)-1].v
+				if low[v] < low[parent] {
+					low[parent] = low[v]
+				}
+			}
+			if low[v] == indexOf[v] {
+				for {
+					w := stack[len(stack)-1]
+					stack = stack[:len(stack)-1]
+					onStack[w] = false
+					comp[w] = nComps
+					if w == v {
+						break
+					}
+				}
+				nComps++
+			}
+		}
+	}
+
+	// A component is terminal when no edge leaves it; it is stuck-bad
+	// when every member is flagged.
+	terminal := make([]bool, nComps)
+	allBad := make([]bool, nComps)
+	reason := make([]string, nComps)
+	repr := make([]int, nComps)
+	for c := range terminal {
+		terminal[c] = true
+		allBad[c] = true
+		repr[c] = -1
+	}
+	for v := range nodes {
+		c := comp[v]
+		if repr[c] == -1 {
+			repr[c] = v
+		}
+		if nodes[v].stuck == "" {
+			allBad[c] = false
+		} else if reason[c] == "" {
+			reason[c] = nodes[v].stuck
+		}
+		for _, w := range nodes[v].succs {
+			if comp[w] != c {
+				terminal[c] = false
+			}
+		}
+	}
+	for c := 0; c < nComps; c++ {
+		if terminal[c] && allBad[c] {
+			return repr[c], reason[c]
+		}
+	}
+	return -1, ""
+}
+
+// UniquenessPred flags states with two or more selected processors — the
+// selection problem's Uniqueness requirement.
+func UniquenessPred(m *machine.Machine) string {
+	if sel := m.SelectedProcs(); len(sel) >= 2 {
+		return fmt.Sprintf("uniqueness violated: processors %v all selected", sel)
+	}
+	return ""
+}
+
+// StabilityPred flags transitions where a selected processor becomes
+// unselected — the selection problem's Stability requirement.
+func StabilityPred(before, after *machine.Machine, _ int) string {
+	selBefore := before.SelectedProcs()
+	selAfterSet := make(map[int]bool)
+	for _, p := range after.SelectedProcs() {
+		selAfterSet[p] = true
+	}
+	for _, p := range selBefore {
+		if !selAfterSet[p] {
+			return fmt.Sprintf("stability violated: processor %d unselected", p)
+		}
+	}
+	return ""
+}
+
+// NotAllHalted is a StuckBad predicate: a terminal component whose states
+// still have running processors is a deadlock or livelock.
+func NotAllHalted(m *machine.Machine) string {
+	if !m.AllHalted() {
+		return "processors can never all halt"
+	}
+	return ""
+}
+
+// NoneSelectedAndAllHalted flags states where every processor halted
+// without anyone selected — a selection algorithm that gave up.
+func NoneSelectedAndAllHalted(m *machine.Machine) string {
+	if m.AllHalted() && len(m.SelectedProcs()) == 0 {
+		return "all processors halted with no selection"
+	}
+	return ""
+}

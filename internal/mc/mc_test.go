@@ -1,0 +1,243 @@
+package mc
+
+import (
+	"errors"
+	"strings"
+	"testing"
+
+	"simsym/internal/machine"
+	"simsym/internal/system"
+)
+
+func factoryFor(t *testing.T, s *system.System, instr system.InstrSet, build func(b *machine.Builder)) func() (*machine.Machine, error) {
+	t.Helper()
+	b := machine.NewBuilder()
+	build(b)
+	prog, err := b.Build()
+	if err != nil {
+		t.Fatal(err)
+	}
+	return func() (*machine.Machine, error) {
+		return machine.New(s, instr, prog)
+	}
+}
+
+// naiveClaim is the Theorem 1 strawman: an S program that reads the shared
+// variable, claims leadership if it looks untaken, then writes a marker.
+// Read and claim are separate atomic steps, so two processors can both
+// read "untaken" before either writes — the model checker must find that
+// schedule (this is the FLP-flavored adversary of Theorem 1).
+func naiveClaim(b *machine.Builder) {
+	b.Read("n", "x")
+	b.Compute(func(loc machine.Locals) {
+		if loc["x"] == "0" {
+			loc["selected"] = true
+			loc["mark"] = "taken"
+		} else {
+			loc["mark"] = "seen"
+		}
+	})
+	b.Write("n", "mark")
+	b.Halt()
+}
+
+func TestTheorem1NaiveSelectionViolatesUniqueness(t *testing.T) {
+	res, err := Check(factoryFor(t, system.Fig1(), system.InstrS, naiveClaim), Options{
+		StatePreds: []StatePredicate{UniquenessPred},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Violation == nil {
+		t.Fatal("model checker must find the double-selection schedule")
+	}
+	if !strings.Contains(res.Violation.Reason, "uniqueness") {
+		t.Errorf("reason = %q", res.Violation.Reason)
+	}
+	if len(res.Violation.Schedule) == 0 {
+		t.Error("violation should carry a witness schedule")
+	}
+	// Replay the witness schedule and confirm it really double-selects.
+	m, err := factoryFor(t, system.Fig1(), system.InstrS, naiveClaim)()
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, p := range res.Violation.Schedule {
+		if err := m.Step(p); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if sel := m.SelectedProcs(); len(sel) < 2 {
+		t.Errorf("replayed schedule selects %v, want 2 processors", sel)
+	}
+}
+
+// lockClaim is the correct L selection for Figure 1: the lock race picks
+// exactly one winner under every schedule.
+func lockClaim(b *machine.Builder) {
+	b.Lock("n", "got")
+	b.Compute(func(loc machine.Locals) {
+		if loc["got"] == true {
+			loc["selected"] = true
+		}
+	})
+	b.Halt()
+}
+
+func TestLockSelectionSafeUnderAllSchedules(t *testing.T) {
+	res, err := Check(factoryFor(t, system.Fig1(), system.InstrL, lockClaim), Options{
+		StatePreds: []StatePredicate{UniquenessPred},
+		TransPreds: []TransitionPredicate{StabilityPred},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Violation != nil {
+		t.Fatalf("lock-based selection should be safe, got %s (schedule %v)",
+			res.Violation.Reason, res.Violation.Schedule)
+	}
+	if !res.Complete {
+		t.Error("tiny state space should be fully explored")
+	}
+}
+
+func TestStabilityViolationDetected(t *testing.T) {
+	// A program that selects then deselects must be flagged.
+	res, err := Check(factoryFor(t, system.Fig1(), system.InstrS, func(b *machine.Builder) {
+		b.Compute(func(loc machine.Locals) { loc["selected"] = true })
+		b.Compute(func(loc machine.Locals) { loc["selected"] = false })
+		b.Halt()
+	}), Options{
+		TransPreds: []TransitionPredicate{StabilityPred},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Violation == nil || !strings.Contains(res.Violation.Reason, "stability") {
+		t.Fatalf("violation = %+v, want stability", res.Violation)
+	}
+}
+
+// crossedLocks builds the minimal deadlock system: two processors locking
+// the same two variables in opposite orders.
+func crossedLocks() *system.System {
+	return &system.System{
+		Names:    []system.Name{"a", "b"},
+		ProcIDs:  []string{"p0", "p1"},
+		VarIDs:   []string{"v0", "v1"},
+		Nbr:      [][]int{{0, 1}, {1, 0}},
+		ProcInit: []string{"0", "0"},
+		VarInit:  []string{"0", "0"},
+	}
+}
+
+func spinLockBoth(b *machine.Builder) {
+	b.Label("la")
+	b.Lock("a", "ga")
+	b.JumpIf(func(loc machine.Locals) bool { return loc["ga"] != true }, "la")
+	b.Label("lb")
+	b.Lock("b", "gb")
+	b.JumpIf(func(loc machine.Locals) bool { return loc["gb"] != true }, "lb")
+	b.Halt()
+}
+
+func TestDeadlockDetection(t *testing.T) {
+	res, err := Check(factoryFor(t, crossedLocks(), system.InstrL, spinLockBoth), Options{
+		StuckBad: func(m *machine.Machine) string {
+			if !m.AllHalted() {
+				return "processors spinning forever (deadlock)"
+			}
+			return ""
+		},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Violation == nil || !strings.Contains(res.Violation.Reason, "deadlock") {
+		t.Fatalf("violation = %+v, want deadlock", res.Violation)
+	}
+}
+
+func TestNoDeadlockWhenOrdered(t *testing.T) {
+	// Same two processors, but both lock v0 before v1 (a resource
+	// hierarchy): no deadlock is reachable and the space closes.
+	s := crossedLocks()
+	s.Nbr = [][]int{{0, 1}, {0, 1}} // both: a->v0, b->v1
+	b := machine.NewBuilder()
+	b.Label("la")
+	b.Lock("a", "ga")
+	b.JumpIf(func(loc machine.Locals) bool { return loc["ga"] != true }, "la")
+	b.Lock("b", "gb")
+	b.Unlock("b")
+	b.Unlock("a")
+	b.Halt()
+	prog, err := b.Build()
+	if err != nil {
+		t.Fatal(err)
+	}
+	res2, err := Check(func() (*machine.Machine, error) {
+		return machine.New(s, system.InstrL, prog)
+	}, Options{StuckBad: NotAllHalted})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res2.Violation != nil {
+		t.Fatalf("ordered locking should be deadlock-free: %+v (schedule %v)",
+			res2.Violation.Reason, res2.Violation.Schedule)
+	}
+	if !res2.Complete {
+		t.Error("state space should close")
+	}
+}
+
+func TestBudgetExhaustion(t *testing.T) {
+	_, err := Check(factoryFor(t, system.Fig1(), system.InstrS, func(b *machine.Builder) {
+		b.Compute(func(loc machine.Locals) { loc["n"] = 0 })
+		b.Label("loop")
+		b.Compute(func(loc machine.Locals) { loc["n"] = loc["n"].(int) + 1 })
+		b.Jump("loop")
+	}), Options{MaxStates: 100})
+	if !errors.Is(err, ErrBudget) {
+		t.Errorf("err = %v, want ErrBudget", err)
+	}
+}
+
+func TestInitialStateViolationCaught(t *testing.T) {
+	// Predicate that fires immediately.
+	res, err := Check(factoryFor(t, system.Fig1(), system.InstrS, func(b *machine.Builder) {
+		b.Halt()
+	}), Options{
+		StatePreds: []StatePredicate{func(m *machine.Machine) string { return "always bad" }},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Violation == nil || len(res.Violation.Schedule) != 0 {
+		t.Fatalf("initial-state violation should have empty schedule, got %+v", res.Violation)
+	}
+}
+
+func TestNoneSelectedAndAllHalted(t *testing.T) {
+	m, err := factoryFor(t, system.Fig1(), system.InstrS, func(b *machine.Builder) { b.Halt() })()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := m.Step(0); err != nil {
+		t.Fatal(err)
+	}
+	if err := m.Step(1); err != nil {
+		t.Fatal(err)
+	}
+	if got := NoneSelectedAndAllHalted(m); got == "" {
+		t.Error("all-halted-unselected should be flagged")
+	}
+}
+
+func TestFactoryErrorPropagates(t *testing.T) {
+	_, err := Check(func() (*machine.Machine, error) {
+		return nil, errors.New("boom")
+	}, Options{})
+	if err == nil {
+		t.Error("factory error should propagate")
+	}
+}

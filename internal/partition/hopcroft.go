@@ -1,0 +1,288 @@
+package partition
+
+import (
+	"fmt"
+	"sort"
+)
+
+// TaggedEdge is a directed, integer-tagged edge: the color of From (the
+// owner) depends on the color of To through an edge with this Tag.
+type TaggedEdge struct {
+	To  int
+	Tag int
+}
+
+// CountStructure describes a structure refinable by counting signatures:
+// a node's environment is the multiset of (tag, target-class) pairs over
+// its out-edges. For such structures the Hopcroft smaller-half strategy
+// is sound — the count of edges into a split-off part determines the
+// count into the remainder — which is not true of set-based signatures;
+// set-rule refinement must use FixpointWorklist instead.
+//
+// The paper's Q-environment rules are counting signatures: a processor
+// has exactly one edge per name to its n-neighbor (condition (2)) and a
+// variable's environment counts n-neighbors per processor label
+// (condition (3)).
+type CountStructure interface {
+	// Len returns the number of nodes.
+	Len() int
+	// InitKey returns the initial-coloring key of node i.
+	InitKey(i int) string
+	// OutEdges returns node i's dependency edges. Called once per node.
+	OutEdges(i int) []TaggedEdge
+}
+
+// segments is the classic Hopcroft partition structure: a permutation of
+// the nodes in which every class occupies a contiguous segment, so moving
+// a node into a freshly split-off part is a constant-time swap and the
+// untouched remainder of a class is never enumerated.
+type segments struct {
+	order   []int // permutation of node ids
+	pos     []int // pos[node] = index into order
+	classOf []int // node -> class id
+	start   []int // class id -> first index of its segment
+	length  []int // class id -> segment length
+	carved  []int // class id -> nodes carved off the segment front (scratch)
+}
+
+func newSegments(keys []string) *segments {
+	n := len(keys)
+	s := &segments{
+		order:   make([]int, n),
+		pos:     make([]int, n),
+		classOf: make([]int, n),
+	}
+	idx := make([]int, n)
+	for i := range idx {
+		idx[i] = i
+	}
+	sort.Slice(idx, func(a, b int) bool {
+		if keys[idx[a]] != keys[idx[b]] {
+			return keys[idx[a]] < keys[idx[b]]
+		}
+		return idx[a] < idx[b]
+	})
+	for i, node := range idx {
+		s.order[i] = node
+		s.pos[node] = i
+	}
+	for i := 0; i < n; {
+		j := i
+		for j < n && keys[idx[j]] == keys[idx[i]] {
+			j++
+		}
+		c := len(s.start)
+		s.start = append(s.start, i)
+		s.length = append(s.length, j-i)
+		s.carved = append(s.carved, 0)
+		for k := i; k < j; k++ {
+			s.classOf[idx[k]] = c
+		}
+		i = j
+	}
+	return s
+}
+
+// moveToFront swaps node x to the carved prefix of its class segment.
+func (s *segments) moveToFront(x int) {
+	c := s.classOf[x]
+	target := s.start[c] + s.carved[c]
+	s.carved[c]++
+	cur := s.pos[x]
+	other := s.order[target]
+	s.order[target], s.order[cur] = x, other
+	s.pos[x], s.pos[other] = target, cur
+}
+
+// finishCarve turns the carved prefix of class c into a new class and
+// shrinks c to its remainder; returns the new class id. The caller must
+// ensure 0 < carved < length.
+func (s *segments) finishCarve(c int) int {
+	nc := len(s.start)
+	cnt := s.carved[c]
+	s.start = append(s.start, s.start[c])
+	s.length = append(s.length, cnt)
+	s.carved = append(s.carved, 0)
+	for i := s.start[c]; i < s.start[c]+cnt; i++ {
+		s.classOf[s.order[i]] = nc
+	}
+	s.start[c] += cnt
+	s.length[c] -= cnt
+	s.carved[c] = 0
+	return nc
+}
+
+// FixpointHopcroft computes the coarsest stable partition of s with the
+// smaller-half splitter strategy of Hopcroft [H71], as Theorem 5
+// prescribes: split work is proportional to the edges into the splitter
+// (untouched class remainders are never visited), and split-off parts
+// enter the queue while the largest part stays out, so every node is
+// processed O(log n) times per incident edge — O((n + m) log n) overall.
+func FixpointHopcroft(cs CountStructure) (*Partition, error) {
+	n := cs.Len()
+	if n == 0 {
+		return nil, ErrEmptyStructure
+	}
+	keys := make([]string, n)
+	for i := 0; i < n; i++ {
+		keys[i] = cs.InitKey(i)
+	}
+	seg := newSegments(keys)
+
+	// Reverse adjacency: rev[y] lists (x, tag) for each edge x --tag--> y.
+	rev := make([][]TaggedEdge, n)
+	for i := 0; i < n; i++ {
+		for _, e := range cs.OutEdges(i) {
+			if e.To < 0 || e.To >= n {
+				return nil, fmt.Errorf("partition: edge target %d out of range", e.To)
+			}
+			rev[e.To] = append(rev[e.To], TaggedEdge{To: i, Tag: e.Tag})
+		}
+	}
+
+	inQueue := make([]bool, len(seg.start), 2*n)
+	queue := make([]int, 0, 2*n)
+	enqueue := func(c int) {
+		for c >= len(inQueue) {
+			inQueue = append(inQueue, false)
+		}
+		if !inQueue[c] {
+			inQueue[c] = true
+			queue = append(queue, c)
+		}
+	}
+	for c := range seg.start {
+		enqueue(c)
+	}
+
+	for head := 0; head < len(queue); head++ {
+		splitter := queue[head]
+		inQueue[splitter] = false
+
+		// Gather the nodes with edges into the splitter and their tag
+		// lists. A fresh map per splitter: Go maps never shrink, so a
+		// reused map that was once large would make every later clear
+		// and iteration pay for its historical size.
+		tagsInto := make(map[int][]int, 2*seg.length[splitter])
+		for i := seg.start[splitter]; i < seg.start[splitter]+seg.length[splitter]; i++ {
+			y := seg.order[i]
+			for _, e := range rev[y] {
+				tagsInto[e.To] = append(tagsInto[e.To], e.Tag)
+			}
+		}
+		if len(tagsInto) == 0 {
+			continue
+		}
+
+		// Group touched nodes by class, deterministically.
+		touched := make([]int, 0, len(tagsInto))
+		for x := range tagsInto {
+			touched = append(touched, x)
+		}
+		sort.Ints(touched)
+		byClass := make(map[int][]int)
+		classIDs := make([]int, 0, 8)
+		for _, x := range touched {
+			c := seg.classOf[x]
+			if _, ok := byClass[c]; !ok {
+				classIDs = append(classIDs, c)
+			}
+			byClass[c] = append(byClass[c], x)
+		}
+		sort.Ints(classIDs)
+
+		for _, c := range classIDs {
+			if seg.length[c] <= 1 {
+				continue
+			}
+			xs := byClass[c]
+			// Group the touched members by tag-multiset signature.
+			groups := make(map[string][]int)
+			groupKeys := make([]string, 0, 4)
+			for _, x := range xs {
+				tags := append([]int(nil), tagsInto[x]...)
+				sort.Ints(tags)
+				key := fmt.Sprint(tags)
+				if _, ok := groups[key]; !ok {
+					groupKeys = append(groupKeys, key)
+				}
+				groups[key] = append(groups[key], x)
+			}
+			untouched := seg.length[c] - len(xs)
+			if untouched == 0 && len(groupKeys) == 1 {
+				continue // whole class shares one signature: no split
+			}
+			sort.Strings(groupKeys)
+
+			// Determine the largest part (untouched remainder counts as
+			// a part); it keeps the old class id when it is the
+			// remainder, and stays out of the queue when c wasn't in it.
+			largestKey := ""
+			largestSize := untouched
+			for _, k := range groupKeys {
+				if len(groups[k]) > largestSize {
+					largestSize = len(groups[k])
+					largestKey = k
+				}
+			}
+			wasQueued := inQueue[c]
+
+			// Carve every touched group except, when the remainder is
+			// empty, the largest touched group (something must keep the
+			// old id and carving all members is illegal).
+			skipKey := ""
+			if untouched == 0 {
+				skipKey = largestKey
+				if skipKey == "" {
+					skipKey = groupKeys[0]
+				}
+			}
+			for _, k := range groupKeys {
+				if k == skipKey {
+					continue
+				}
+				for _, x := range groups[k] {
+					seg.moveToFront(x)
+				}
+				nc := seg.finishCarve(c)
+				for nc >= len(inQueue) {
+					inQueue = append(inQueue, false)
+				}
+				// Queue policy: if c was pending, every part must be a
+				// splitter; otherwise all parts except the largest.
+				if wasQueued || k != largestKey {
+					enqueue(nc)
+				}
+			}
+			if wasQueued {
+				continue // the remainder keeps c's pending queue slot
+			}
+			// c now holds the remainder (or the skipped largest touched
+			// group). If that part is NOT the largest overall, it must
+			// be enqueued too.
+			remainderIsLargest := (skipKey == "" && largestKey == "") || (skipKey != "" && skipKey == largestKey)
+			if !remainderIsLargest {
+				enqueue(c)
+			}
+		}
+	}
+
+	// Convert segments into a Partition with deterministic ids.
+	p := &Partition{label: make([]int, n)}
+	remap := make(map[int]int)
+	members := make(map[int][]int)
+	for i := 0; i < n; i++ {
+		members[seg.classOf[i]] = append(members[seg.classOf[i]], i)
+	}
+	for i := 0; i < n; i++ {
+		c := seg.classOf[i]
+		id, ok := remap[c]
+		if !ok {
+			id = len(p.members)
+			remap[c] = id
+			p.members = append(p.members, members[c])
+		}
+		p.label[i] = id
+	}
+	return p, nil
+}

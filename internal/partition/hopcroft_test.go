@@ -1,0 +1,126 @@
+package partition
+
+import (
+	"errors"
+	"fmt"
+	"math/rand"
+	"testing"
+	"time"
+)
+
+// dfa implements CountStructure as well: transitions become tagged edges.
+func (d *dfa) OutEdges(i int) []TaggedEdge {
+	out := make([]TaggedEdge, 0, len(d.next[i]))
+	for sym, t := range d.next[i] {
+		out = append(out, TaggedEdge{To: t, Tag: sym})
+	}
+	return out
+}
+
+func TestHopcroftMinimizesDFA(t *testing.T) {
+	for _, tc := range []struct{ n, k int }{{3, 1}, {3, 4}, {5, 3}, {7, 2}, {1, 5}} {
+		t.Run(fmt.Sprintf("mod%dx%d", tc.n, tc.k), func(t *testing.T) {
+			d := modDFA(tc.n, tc.k)
+			p, err := FixpointHopcroft(d)
+			if err != nil {
+				t.Fatal(err)
+			}
+			if p.NumClasses() != tc.n {
+				t.Errorf("NumClasses = %d, want %d\n%s", p.NumClasses(), tc.n, p)
+			}
+		})
+	}
+}
+
+func TestHopcroftMatchesNaiveOnRandomDFAs(t *testing.T) {
+	rng := rand.New(rand.NewSource(77))
+	for trial := 0; trial < 200; trial++ {
+		n := 2 + rng.Intn(50)
+		symbols := 1 + rng.Intn(3)
+		accept := make([]bool, n)
+		next := make([][]int, n)
+		for s := 0; s < n; s++ {
+			accept[s] = rng.Intn(2) == 0
+			next[s] = make([]int, symbols)
+			for j := range next[s] {
+				next[s][j] = rng.Intn(n)
+			}
+		}
+		d := newDFA(accept, next)
+		a, err := FixpointNaive(d)
+		if err != nil {
+			t.Fatal(err)
+		}
+		b, err := FixpointHopcroft(d)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if !SameRelation(a, b) {
+			t.Fatalf("trial %d (n=%d): naive %v != hopcroft %v", trial, n, a, b)
+		}
+	}
+}
+
+func TestHopcroftEmptyAndErrors(t *testing.T) {
+	if _, err := FixpointHopcroft(newDFA(nil, nil)); !errors.Is(err, ErrEmptyStructure) {
+		t.Errorf("empty = %v", err)
+	}
+	if _, err := FixpointHopcroft(badEdgeStructure{}); err == nil {
+		t.Error("out-of-range edge should fail")
+	}
+}
+
+func TestHopcroftChainIsFast(t *testing.T) {
+	// The adversarial chain that makes naive refinement quadratic: the
+	// smaller-half driver must separate a 4096-node chain quickly.
+	d := chainDFA(4096)
+	start := time.Now()
+	p, err := FixpointHopcroft(d)
+	if err != nil {
+		t.Fatal(err)
+	}
+	elapsed := time.Since(start)
+	if p.NumClasses() != 4096 {
+		t.Fatalf("classes = %d, want 4096", p.NumClasses())
+	}
+	if elapsed > 2*time.Second {
+		t.Errorf("hopcroft took %v on a 4096 chain; smaller-half should be near-linear", elapsed)
+	}
+}
+
+// chainDFA is a unary chain: state i moves to i+1, the last state loops.
+// Only the last state accepts, so minimization must fully separate.
+func chainDFA(n int) *dfa {
+	accept := make([]bool, n)
+	next := make([][]int, n)
+	for i := 0; i < n; i++ {
+		t := i + 1
+		if t == n {
+			t = n - 1
+		}
+		next[i] = []int{t}
+	}
+	accept[n-1] = true
+	return newDFA(accept, next)
+}
+
+func BenchmarkHopcroftChain(b *testing.B) {
+	for _, n := range []int{1024, 4096, 16384} {
+		b.Run(fmt.Sprintf("n=%d", n), func(b *testing.B) {
+			d := chainDFA(n)
+			b.ReportAllocs()
+			for i := 0; i < b.N; i++ {
+				if _, err := FixpointHopcroft(d); err != nil {
+					b.Fatal(err)
+				}
+			}
+		})
+	}
+}
+
+// badEdgeStructure has an edge pointing outside the node range.
+type badEdgeStructure struct{}
+
+func (badEdgeStructure) Len() int                  { return 1 }
+func (badEdgeStructure) InitKey(int) string        { return "x" }
+func (badEdgeStructure) OutEdges(int) []TaggedEdge { return []TaggedEdge{{To: 5, Tag: 0}} }

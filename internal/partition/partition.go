@@ -1,0 +1,351 @@
+// Package partition implements partition refinement, the engine behind the
+// paper's Algorithm 1 ("Compute Similarity Labeling Θ").
+//
+// The paper computes similarity labelings by refining a trivial
+// subsimilarity labeling until nodes with the same label have the same
+// environment, citing Hopcroft's set-partition algorithm [H71] for an
+// O(n log n) bound. This package provides the partition data structure and
+// two fixpoint drivers over a pluggable Structure:
+//
+//   - FixpointNaive recomputes every signature every round. It is the
+//     direct transcription of Algorithm 1 and serves as the oracle.
+//   - FixpointWorklist recomputes signatures only for nodes whose
+//     dependencies changed, propagating splits along the dependency
+//     graph. This is the production driver.
+//
+// Both produce identical partitions; tests cross-check them and benchmarks
+// compare them (the DESIGN.md ablation).
+package partition
+
+import (
+	"errors"
+	"fmt"
+	"sort"
+)
+
+// Structure describes a refinable structure: a set of nodes, an initial
+// coloring, a per-node signature that may read current labels, and the
+// dependency graph saying whose signatures are affected when a node's
+// label changes.
+type Structure interface {
+	// Len returns the number of nodes, indexed 0..Len()-1.
+	Len() int
+	// InitKey returns the initial-coloring key of node i (nodes with
+	// equal keys start in the same class).
+	InitKey(i int) string
+	// Signature returns a deterministic encoding of node i's environment
+	// under the current labeling. Nodes in a stable partition must have
+	// equal signatures iff they should share a class.
+	Signature(i int, label func(int) int) string
+	// Dependents returns the nodes whose Signature may change when node
+	// i's label changes. It may contain duplicates and i itself.
+	Dependents(i int) []int
+}
+
+// ErrEmptyStructure is returned when refining a structure with no nodes.
+var ErrEmptyStructure = errors.New("partition: empty structure")
+
+// Partition assigns each node a class label in 0..NumClasses()-1.
+// Class identifiers are deterministic for a given refinement run but
+// carry no meaning across runs; use Canonical for stable comparison.
+type Partition struct {
+	label   []int
+	members [][]int
+}
+
+// newPartition builds the initial partition from InitKey, with class ids
+// assigned in sorted key order for determinism.
+func newPartition(s Structure) (*Partition, error) {
+	n := s.Len()
+	if n == 0 {
+		return nil, ErrEmptyStructure
+	}
+	byKey := make(map[string][]int)
+	for i := 0; i < n; i++ {
+		k := s.InitKey(i)
+		byKey[k] = append(byKey[k], i)
+	}
+	keys := make([]string, 0, len(byKey))
+	for k := range byKey {
+		keys = append(keys, k)
+	}
+	sort.Strings(keys)
+	p := &Partition{label: make([]int, n)}
+	for _, k := range keys {
+		id := len(p.members)
+		for _, i := range byKey[k] {
+			p.label[i] = id
+		}
+		p.members = append(p.members, byKey[k])
+	}
+	return p, nil
+}
+
+// Label returns the class of node i.
+func (p *Partition) Label(i int) int { return p.label[i] }
+
+// Labels returns a copy of the full label vector.
+func (p *Partition) Labels() []int { return append([]int(nil), p.label...) }
+
+// NumClasses returns the number of classes.
+func (p *Partition) NumClasses() int { return len(p.members) }
+
+// Members returns a copy of the member list of class c, sorted ascending.
+func (p *Partition) Members(c int) []int {
+	out := append([]int(nil), p.members[c]...)
+	sort.Ints(out)
+	return out
+}
+
+// Classes returns all classes as sorted member lists, ordered by class id.
+func (p *Partition) Classes() [][]int {
+	out := make([][]int, len(p.members))
+	for c := range p.members {
+		out[c] = p.Members(c)
+	}
+	return out
+}
+
+// ClassSizes returns the size of each class.
+func (p *Partition) ClassSizes() []int {
+	out := make([]int, len(p.members))
+	for c, m := range p.members {
+		out[c] = len(m)
+	}
+	return out
+}
+
+// SingletonClasses returns the nodes that are alone in their class, in
+// ascending order. For similarity labelings these are the uniquely-labeled
+// nodes — the candidates the paper's SELECT can elect.
+func (p *Partition) SingletonClasses() []int {
+	var out []int
+	for _, m := range p.members {
+		if len(m) == 1 {
+			out = append(out, m[0])
+		}
+	}
+	sort.Ints(out)
+	return out
+}
+
+// Canonical returns the label vector renumbered so that class ids appear
+// in order of first occurrence. Two partitions of the same node set induce
+// the same equivalence relation iff their Canonical vectors are equal.
+func (p *Partition) Canonical() []int {
+	next := 0
+	remap := make(map[int]int, len(p.members))
+	out := make([]int, len(p.label))
+	for i, l := range p.label {
+		r, ok := remap[l]
+		if !ok {
+			r = next
+			remap[l] = r
+			next++
+		}
+		out[i] = r
+	}
+	return out
+}
+
+// SameRelation reports whether p and q induce the same equivalence
+// relation on the same node set.
+func SameRelation(p, q *Partition) bool {
+	if len(p.label) != len(q.label) {
+		return false
+	}
+	a, b := p.Canonical(), q.Canonical()
+	for i := range a {
+		if a[i] != b[i] {
+			return false
+		}
+	}
+	return true
+}
+
+// Refines reports whether p refines q: every class of p is contained in a
+// class of q (p is "finer"). The paper's subsimilarity labelings are
+// exactly the labelings refined by the similarity labeling, and
+// supersimilarity labelings are exactly those that refine it.
+func Refines(p, q *Partition) bool {
+	if len(p.label) != len(q.label) {
+		return false
+	}
+	// p refines q iff p-label determines q-label.
+	image := make(map[int]int)
+	for i := range p.label {
+		if img, ok := image[p.label[i]]; ok {
+			if img != q.label[i] {
+				return false
+			}
+		} else {
+			image[p.label[i]] = q.label[i]
+		}
+	}
+	return true
+}
+
+// splitClass regroups the members of class c by their signature, keeping
+// the first (lowest-node) group under the old id and allocating new ids
+// for the rest in sorted signature order. It returns the nodes whose
+// label changed.
+func (p *Partition) splitClass(c int, sig func(i int) string) []int {
+	if len(p.members[c]) <= 1 {
+		return nil
+	}
+	bySig := make(map[string][]int)
+	for _, i := range p.members[c] {
+		s := sig(i)
+		bySig[s] = append(bySig[s], i)
+	}
+	if len(bySig) == 1 {
+		return nil
+	}
+	sigs := make([]string, 0, len(bySig))
+	for s := range bySig {
+		sigs = append(sigs, s)
+	}
+	sort.Strings(sigs)
+	// Keep the group containing the smallest member under the old id so
+	// splitting is deterministic regardless of signature strings.
+	minNode := p.members[c][0]
+	for _, i := range p.members[c] {
+		if i < minNode {
+			minNode = i
+		}
+	}
+	keep := ""
+	for s, m := range bySig {
+		for _, i := range m {
+			if i == minNode {
+				keep = s
+			}
+		}
+	}
+	var changed []int
+	p.members[c] = bySig[keep]
+	for _, s := range sigs {
+		if s == keep {
+			continue
+		}
+		id := len(p.members)
+		p.members = append(p.members, bySig[s])
+		for _, i := range bySig[s] {
+			p.label[i] = id
+			changed = append(changed, i)
+		}
+	}
+	return changed
+}
+
+// FixpointNaive refines the initial partition of s until stable,
+// recomputing every node's signature each round. It mirrors the paper's
+// Algorithm 1 exactly: "do nodes x and y have the same label but different
+// environments → relabel".
+func FixpointNaive(s Structure) (*Partition, error) {
+	p, err := newPartition(s)
+	if err != nil {
+		return nil, err
+	}
+	lbl := func(i int) int { return p.label[i] }
+	for {
+		sigCache := make([]string, s.Len())
+		for i := 0; i < s.Len(); i++ {
+			sigCache[i] = s.Signature(i, lbl)
+		}
+		changedAny := false
+		// Snapshot class ids: splits append new classes which are
+		// singleton-grouped already this round.
+		numBefore := len(p.members)
+		for c := 0; c < numBefore; c++ {
+			if ch := p.splitClass(c, func(i int) string { return sigCache[i] }); len(ch) > 0 {
+				changedAny = true
+			}
+		}
+		if !changedAny {
+			return p, nil
+		}
+	}
+}
+
+// FixpointWorklist refines the initial partition of s until stable,
+// recomputing signatures only for nodes whose dependencies changed. This
+// is the efficient driver in the spirit of [H71]: work propagates only
+// from split classes to their dependents.
+func FixpointWorklist(s Structure) (*Partition, error) {
+	p, err := newPartition(s)
+	if err != nil {
+		return nil, err
+	}
+	lbl := func(i int) int { return p.label[i] }
+	n := s.Len()
+
+	dirty := make([]bool, n)
+	queue := make([]int, 0, n)
+	for i := 0; i < n; i++ {
+		dirty[i] = true
+		queue = append(queue, i)
+	}
+
+	for len(queue) > 0 {
+		// Gather the dirty classes this round.
+		classSet := make(map[int][]int)
+		for _, i := range queue {
+			if dirty[i] {
+				classSet[p.label[i]] = append(classSet[p.label[i]], i)
+				dirty[i] = false
+			}
+		}
+		queue = queue[:0]
+
+		classes := make([]int, 0, len(classSet))
+		for c := range classSet {
+			classes = append(classes, c)
+		}
+		sort.Ints(classes)
+
+		var changed []int
+		for _, c := range classes {
+			if len(p.members[c]) <= 1 {
+				continue
+			}
+			// A split decision needs signatures for the whole class, not
+			// only the dirty members.
+			sigCache := make(map[int]string, len(p.members[c]))
+			for _, i := range p.members[c] {
+				sigCache[i] = s.Signature(i, lbl)
+			}
+			ch := p.splitClass(c, func(i int) string { return sigCache[i] })
+			changed = append(changed, ch...)
+		}
+		for _, i := range changed {
+			for _, d := range s.Dependents(i) {
+				if !dirty[d] {
+					dirty[d] = true
+					queue = append(queue, d)
+				}
+			}
+			// A relabeled node's own signature may also change if it
+			// depends on itself transitively; re-mark it.
+			if !dirty[i] {
+				dirty[i] = true
+				queue = append(queue, i)
+			}
+		}
+	}
+	return p, nil
+}
+
+// String renders the partition as sorted class lists, for debugging and
+// golden tests.
+func (p *Partition) String() string {
+	classes := p.Classes()
+	out := ""
+	for c, m := range classes {
+		if c > 0 {
+			out += " "
+		}
+		out += fmt.Sprintf("%v", m)
+	}
+	return out
+}

@@ -1,0 +1,280 @@
+// Package randomized implements the randomized symmetry-breaking
+// algorithms the paper cites in section 8 to demonstrate "the added power
+// of randomization": problems whose deterministic versions are ruled out
+// by similarity become solvable once processors may flip coins.
+//
+//   - Itai–Rodeh leader election [IR81] on an anonymous unidirectional
+//     ring: deterministically impossible (all ring processors are
+//     similar; see the selection decision procedures), but solvable with
+//     probability 1 by repeated random identity draws.
+//   - Lehmann–Rabin dining philosophers [LR80]: the five-philosopher
+//     table has no deterministic symmetric solution (DP, via Theorem
+//     11), but the free-choice coin flip — pick which fork to grab first
+//     at random, retry on contention — is deadlock-free with
+//     probability 1.
+//
+// Both run on seeded PRNGs so experiments are reproducible.
+package randomized
+
+import (
+	"errors"
+	"fmt"
+	"math/rand"
+)
+
+// Sentinel errors.
+var (
+	ErrBadArgs       = errors.New("randomized: invalid arguments")
+	ErrNoConvergence = errors.New("randomized: did not converge within budget")
+)
+
+// ElectionResult reports one Itai–Rodeh run.
+type ElectionResult struct {
+	// Leader is the elected processor.
+	Leader int
+	// Phases is the number of identity-drawing phases used.
+	Phases int
+	// Messages counts ring messages sent.
+	Messages int
+}
+
+// ItaiRodeh elects a leader on an anonymous unidirectional ring of n
+// processors: each phase, every active processor draws a random id in
+// [0, idSpace) and passes it around; processors that see a strictly
+// larger id than their own go passive; ties among maximal ids trigger
+// another phase among the tied. With probability 1 a single processor
+// remains.
+//
+// The implementation simulates the ring synchronously phase by phase —
+// the asynchronous message-passing behavior of the algorithm is
+// insensitive to interleaving because each phase is a full circulation.
+func ItaiRodeh(rng *rand.Rand, n, idSpace, maxPhases int) (*ElectionResult, error) {
+	if n < 1 || idSpace < 2 || maxPhases < 1 {
+		return nil, fmt.Errorf("%w: n=%d idSpace=%d maxPhases=%d", ErrBadArgs, n, idSpace, maxPhases)
+	}
+	active := make([]bool, n)
+	for i := range active {
+		active[i] = true
+	}
+	res := &ElectionResult{}
+	for phase := 1; phase <= maxPhases; phase++ {
+		res.Phases = phase
+		// Draw ids for active processors.
+		ids := make([]int, n)
+		maxID := -1
+		for p := 0; p < n; p++ {
+			if active[p] {
+				ids[p] = rng.Intn(idSpace)
+				if ids[p] > maxID {
+					maxID = ids[p]
+				}
+			}
+		}
+		// One full circulation: every active processor's id visits every
+		// other processor (n messages per active processor).
+		activeCount := 0
+		for p := 0; p < n; p++ {
+			if active[p] {
+				activeCount++
+			}
+		}
+		res.Messages += activeCount * n
+		// Processors whose id is below the maximum go passive; ties stay.
+		tied := 0
+		winner := -1
+		for p := 0; p < n; p++ {
+			if !active[p] {
+				continue
+			}
+			if ids[p] < maxID {
+				active[p] = false
+			} else {
+				tied++
+				winner = p
+			}
+		}
+		if tied == 1 {
+			res.Leader = winner
+			return res, nil
+		}
+	}
+	return nil, fmt.Errorf("%w: %d phases", ErrNoConvergence, maxPhases)
+}
+
+// ElectionStats aggregates repeated elections.
+type ElectionStats struct {
+	Runs       int
+	Successes  int
+	MeanPhases float64
+	MeanMsgs   float64
+}
+
+// ElectionSweep runs the election repeatedly and aggregates.
+func ElectionSweep(seed int64, n, idSpace, maxPhases, runs int) (*ElectionStats, error) {
+	if runs < 1 {
+		return nil, fmt.Errorf("%w: runs=%d", ErrBadArgs, runs)
+	}
+	rng := rand.New(rand.NewSource(seed))
+	stats := &ElectionStats{Runs: runs}
+	totalPhases, totalMsgs := 0, 0
+	for i := 0; i < runs; i++ {
+		res, err := ItaiRodeh(rng, n, idSpace, maxPhases)
+		if err != nil {
+			if errors.Is(err, ErrNoConvergence) {
+				continue
+			}
+			return nil, err
+		}
+		stats.Successes++
+		totalPhases += res.Phases
+		totalMsgs += res.Messages
+	}
+	if stats.Successes > 0 {
+		stats.MeanPhases = float64(totalPhases) / float64(stats.Successes)
+		stats.MeanMsgs = float64(totalMsgs) / float64(stats.Successes)
+	}
+	return stats, nil
+}
+
+// philState is a Lehmann–Rabin philosopher's phase.
+type philState int
+
+const (
+	thinking philState = iota + 1
+	hungryNoFork
+	holdingFirst
+	eating
+)
+
+// DiningResult reports one Lehmann–Rabin run.
+type DiningResult struct {
+	// Meals[p] counts philosopher p's completed meals.
+	Meals []int
+	// Steps is the number of scheduler steps executed.
+	Steps int
+}
+
+// LehmannRabin runs the free-choice randomized dining philosophers on an
+// anonymous ring of n philosophers for the given number of scheduler
+// steps, under a uniformly random (fair with probability 1) schedule.
+//
+// Each hungry philosopher flips a coin to choose its first fork, waits
+// for it, then tries the second fork ONCE: on failure it releases the
+// first fork and flips again (the "free choice" that defeats the
+// round-robin adversary). Exclusion is enforced structurally (forks are
+// taken/released atomically per step); the point demonstrated is
+// lockout-freedom in practice: everyone eats.
+func LehmannRabin(rng *rand.Rand, n, steps int) (*DiningResult, error) {
+	if n < 2 || steps < 1 {
+		return nil, fmt.Errorf("%w: n=%d steps=%d", ErrBadArgs, n, steps)
+	}
+	state := make([]philState, n)
+	firstChoice := make([]int, n) // 0 = left fork (index p), 1 = right fork (index (p+1)%n)
+	forkHolder := make([]int, n)  // -1 free, else philosopher index
+	for i := range state {
+		state[i] = thinking
+	}
+	for i := range forkHolder {
+		forkHolder[i] = -1
+	}
+	res := &DiningResult{Meals: make([]int, n)}
+
+	leftFork := func(p int) int { return p }
+	rightFork := func(p int) int { return (p + 1) % n }
+	firstFork := func(p int) int {
+		if firstChoice[p] == 0 {
+			return leftFork(p)
+		}
+		return rightFork(p)
+	}
+	secondFork := func(p int) int {
+		if firstChoice[p] == 0 {
+			return rightFork(p)
+		}
+		return leftFork(p)
+	}
+
+	for step := 0; step < steps; step++ {
+		p := rng.Intn(n)
+		res.Steps++
+		switch state[p] {
+		case thinking:
+			state[p] = hungryNoFork
+			firstChoice[p] = rng.Intn(2)
+		case hungryNoFork:
+			f := firstFork(p)
+			if forkHolder[f] == -1 {
+				forkHolder[f] = p
+				state[p] = holdingFirst
+			}
+			// else: wait (keep trying the chosen fork).
+		case holdingFirst:
+			f := secondFork(p)
+			if forkHolder[f] == -1 {
+				forkHolder[f] = p
+				state[p] = eating
+			} else {
+				// Free choice: give up the held fork and re-flip.
+				forkHolder[firstFork(p)] = -1
+				state[p] = hungryNoFork
+				firstChoice[p] = rng.Intn(2)
+			}
+		case eating:
+			res.Meals[p]++
+			forkHolder[leftFork(p)] = -1
+			forkHolder[rightFork(p)] = -1
+			state[p] = thinking
+		}
+		// Exclusion invariant: adjacent philosophers never both eat.
+		if state[p] == eating {
+			left := (p - 1 + n) % n
+			right := (p + 1) % n
+			if state[left] == eating || state[right] == eating {
+				return nil, fmt.Errorf("randomized: exclusion violated at step %d", step)
+			}
+		}
+	}
+	return res, nil
+}
+
+// StubbornLeftFirst runs the DETERMINISTIC variant (everyone grabs left
+// first and never gives a fork back) under a round-robin schedule — the
+// DP adversary. It returns the number of steps until deadlock (all
+// philosophers holding their left fork, nobody able to eat), or an error
+// if no deadlock emerged within the budget. This is the baseline the
+// randomized algorithm is compared against.
+func StubbornLeftFirst(n, maxSteps int) (int, error) {
+	if n < 2 || maxSteps < 1 {
+		return 0, fmt.Errorf("%w: n=%d maxSteps=%d", ErrBadArgs, n, maxSteps)
+	}
+	forkHolder := make([]int, n)
+	holding := make([]bool, n)
+	for i := range forkHolder {
+		forkHolder[i] = -1
+	}
+	for step := 0; step < maxSteps; step++ {
+		p := step % n
+		if !holding[p] {
+			if forkHolder[p] == -1 { // left fork of p is fork p
+				forkHolder[p] = p
+				holding[p] = true
+			}
+		}
+		// Try right fork; with everyone holding left, this always fails.
+		deadlocked := true
+		for q := 0; q < n; q++ {
+			if !holding[q] {
+				deadlocked = false
+				break
+			}
+			if forkHolder[(q+1)%n] == -1 {
+				deadlocked = false
+				break
+			}
+		}
+		if deadlocked {
+			return step + 1, nil
+		}
+	}
+	return 0, fmt.Errorf("%w: %d steps", ErrNoConvergence, maxSteps)
+}

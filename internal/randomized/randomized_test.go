@@ -1,0 +1,194 @@
+package randomized
+
+import (
+	"errors"
+	"math/rand"
+	"testing"
+)
+
+func TestItaiRodehElectsExactlyOne(t *testing.T) {
+	rng := rand.New(rand.NewSource(1))
+	for _, n := range []int{2, 3, 5, 8, 16} {
+		for run := 0; run < 50; run++ {
+			res, err := ItaiRodeh(rng, n, 8, 200)
+			if err != nil {
+				t.Fatalf("n=%d run=%d: %v", n, run, err)
+			}
+			if res.Leader < 0 || res.Leader >= n {
+				t.Fatalf("leader %d out of range", res.Leader)
+			}
+			if res.Phases < 1 {
+				t.Fatal("phases must be >= 1")
+			}
+		}
+	}
+}
+
+func TestItaiRodehSingleProcessor(t *testing.T) {
+	rng := rand.New(rand.NewSource(2))
+	res, err := ItaiRodeh(rng, 1, 2, 10)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Leader != 0 || res.Phases != 1 {
+		t.Errorf("single processor should elect itself in one phase: %+v", res)
+	}
+}
+
+func TestItaiRodehLeaderDistribution(t *testing.T) {
+	// Symmetry: over many runs every position should win sometimes.
+	rng := rand.New(rand.NewSource(3))
+	const n = 4
+	wins := make([]int, n)
+	for run := 0; run < 400; run++ {
+		res, err := ItaiRodeh(rng, n, 16, 200)
+		if err != nil {
+			t.Fatal(err)
+		}
+		wins[res.Leader]++
+	}
+	for p, w := range wins {
+		if w == 0 {
+			t.Errorf("position %d never won in 400 runs", p)
+		}
+	}
+}
+
+func TestElectionSweep(t *testing.T) {
+	stats, err := ElectionSweep(7, 8, 8, 200, 100)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if stats.Successes != 100 {
+		t.Errorf("successes = %d, want 100", stats.Successes)
+	}
+	if stats.MeanPhases < 1 {
+		t.Errorf("mean phases = %f", stats.MeanPhases)
+	}
+	if stats.MeanMsgs < float64(8*8) {
+		t.Errorf("mean messages = %f looks too small", stats.MeanMsgs)
+	}
+}
+
+func TestElectionPhasesShrinkWithIDSpace(t *testing.T) {
+	// Bigger id spaces mean fewer ties: expected phases decrease.
+	small, err := ElectionSweep(11, 8, 2, 500, 300)
+	if err != nil {
+		t.Fatal(err)
+	}
+	large, err := ElectionSweep(11, 8, 64, 500, 300)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if large.MeanPhases >= small.MeanPhases {
+		t.Errorf("idSpace=64 phases (%f) should be below idSpace=2 phases (%f)",
+			large.MeanPhases, small.MeanPhases)
+	}
+}
+
+func TestItaiRodehArgs(t *testing.T) {
+	rng := rand.New(rand.NewSource(4))
+	if _, err := ItaiRodeh(rng, 0, 2, 10); !errors.Is(err, ErrBadArgs) {
+		t.Errorf("n=0 err = %v", err)
+	}
+	if _, err := ItaiRodeh(rng, 3, 1, 10); !errors.Is(err, ErrBadArgs) {
+		t.Errorf("idSpace=1 err = %v", err)
+	}
+	if _, err := ElectionSweep(1, 3, 4, 10, 0); !errors.Is(err, ErrBadArgs) {
+		t.Errorf("runs=0 err = %v", err)
+	}
+}
+
+func TestLehmannRabinEveryoneEats(t *testing.T) {
+	// The paper's point: five philosophers have no deterministic
+	// symmetric solution (DP), but the randomized free-choice program is
+	// lockout-free in practice.
+	for _, seed := range []int64{1, 2, 3, 4, 5} {
+		rng := rand.New(rand.NewSource(seed))
+		res, err := LehmannRabin(rng, 5, 20_000)
+		if err != nil {
+			t.Fatal(err)
+		}
+		for p, meals := range res.Meals {
+			if meals == 0 {
+				t.Errorf("seed %d: philosopher %d starved", seed, p)
+			}
+		}
+	}
+}
+
+func TestLehmannRabinScales(t *testing.T) {
+	rng := rand.New(rand.NewSource(9))
+	res, err := LehmannRabin(rng, 11, 60_000)
+	if err != nil {
+		t.Fatal(err)
+	}
+	total := 0
+	for _, m := range res.Meals {
+		total += m
+	}
+	if total == 0 {
+		t.Error("nobody ate")
+	}
+}
+
+func TestLehmannRabinArgs(t *testing.T) {
+	rng := rand.New(rand.NewSource(5))
+	if _, err := LehmannRabin(rng, 1, 100); !errors.Is(err, ErrBadArgs) {
+		t.Errorf("n=1 err = %v", err)
+	}
+	if _, err := LehmannRabin(rng, 3, 0); !errors.Is(err, ErrBadArgs) {
+		t.Errorf("steps=0 err = %v", err)
+	}
+}
+
+func TestStubbornDeterministicDeadlocks(t *testing.T) {
+	// The deterministic baseline deadlocks under round-robin for every
+	// table size — DP's adversary in executable form.
+	for _, n := range []int{3, 5, 7} {
+		steps, err := StubbornLeftFirst(n, 10_000)
+		if err != nil {
+			t.Fatalf("n=%d: %v", n, err)
+		}
+		if steps <= 0 || steps > n+1 {
+			t.Errorf("n=%d: deadlock after %d steps; round-robin should deadlock within one round", n, steps)
+		}
+	}
+	if _, err := StubbornLeftFirst(1, 10); !errors.Is(err, ErrBadArgs) {
+		t.Errorf("n=1 err = %v", err)
+	}
+}
+
+func TestDeterminismPerSeed(t *testing.T) {
+	a, err := ElectionSweep(42, 6, 8, 100, 50)
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, err := ElectionSweep(42, 6, 8, 100, 50)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if a.MeanPhases != b.MeanPhases || a.MeanMsgs != b.MeanMsgs {
+		t.Error("same seed should reproduce identical statistics")
+	}
+}
+
+func BenchmarkItaiRodeh(b *testing.B) {
+	rng := rand.New(rand.NewSource(1))
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		if _, err := ItaiRodeh(rng, 32, 16, 500); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func BenchmarkLehmannRabin(b *testing.B) {
+	rng := rand.New(rand.NewSource(1))
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		if _, err := LehmannRabin(rng, 5, 5_000); err != nil {
+			b.Fatal(err)
+		}
+	}
+}

@@ -1,0 +1,121 @@
+package sched
+
+import (
+	"math/rand"
+	"testing"
+	"testing/quick"
+)
+
+func TestRoundRobin(t *testing.T) {
+	s, err := RoundRobin(3, 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := []int{0, 1, 2, 0, 1, 2}
+	if len(s) != len(want) {
+		t.Fatalf("len = %d, want %d", len(s), len(want))
+	}
+	for i := range want {
+		if s[i] != want[i] {
+			t.Fatalf("schedule %v, want %v", s, want)
+		}
+	}
+	if !IsKBounded(s, 3, 3) {
+		t.Error("round-robin should be n-bounded")
+	}
+	if _, err := RoundRobin(0, 1); err == nil {
+		t.Error("RoundRobin(0,...) should fail")
+	}
+}
+
+func TestShuffledRoundsIsBoundedFair(t *testing.T) {
+	rng := rand.New(rand.NewSource(3))
+	for trial := 0; trial < 20; trial++ {
+		n := 2 + rng.Intn(6)
+		s, err := ShuffledRounds(rng, n, 10)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if !IsKBounded(s, n, 2*n-1) {
+			t.Errorf("shuffled rounds not (2n-1)-bounded for n=%d: %v", n, s)
+		}
+		occ := Occurrences(s, n)
+		for p, c := range occ {
+			if c != 10 {
+				t.Errorf("processor %d appears %d times, want 10", p, c)
+			}
+		}
+	}
+}
+
+func TestUniformRandomCovers(t *testing.T) {
+	rng := rand.New(rand.NewSource(7))
+	s, err := UniformRandom(rng, 4, 400)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !CoversAll(s, 4) {
+		t.Error("400 uniform steps over 4 processors should cover all (w.h.p.)")
+	}
+}
+
+func TestStarve(t *testing.T) {
+	s, err := Starve([]int{0, 2}, 3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if CoversAll(s, 3) {
+		t.Error("starve schedule must not cover the starved processor")
+	}
+	occ := Occurrences(s, 3)
+	if occ[1] != 0 || occ[0] != 3 || occ[2] != 3 {
+		t.Errorf("occurrences = %v", occ)
+	}
+	if _, err := Starve(nil, 3); err == nil {
+		t.Error("empty active set should fail")
+	}
+}
+
+func TestConcat(t *testing.T) {
+	out := Concat([]int{1}, nil, []int{2, 3})
+	if len(out) != 3 || out[0] != 1 || out[2] != 3 {
+		t.Errorf("Concat = %v", out)
+	}
+}
+
+func TestIsKBounded(t *testing.T) {
+	tests := []struct {
+		name  string
+		sched []int
+		n, k  int
+		want  bool
+	}{
+		{"rr is n-bounded", []int{0, 1, 0, 1, 0, 1}, 2, 2, true},
+		{"k below n impossible", []int{0, 1}, 2, 1, false},
+		{"gap breaks bound", []int{0, 1, 0, 0, 0, 1}, 2, 3, false},
+		{"wide window ok", []int{0, 1, 0, 0, 1, 0}, 2, 4, true},
+		{"short schedule vacuous", []int{0}, 2, 5, true},
+	}
+	for _, tt := range tests {
+		t.Run(tt.name, func(t *testing.T) {
+			if got := IsKBounded(tt.sched, tt.n, tt.k); got != tt.want {
+				t.Errorf("IsKBounded(%v,%d,%d) = %v, want %v", tt.sched, tt.n, tt.k, got, tt.want)
+			}
+		})
+	}
+}
+
+func TestRoundRobinAlwaysKBoundedProperty(t *testing.T) {
+	f := func(nRaw, roundsRaw uint8) bool {
+		n := int(nRaw%8) + 1
+		rounds := int(roundsRaw % 10)
+		s, err := RoundRobin(n, rounds)
+		if err != nil {
+			return false
+		}
+		return IsKBounded(s, n, n)
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}

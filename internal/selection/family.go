@@ -1,0 +1,92 @@
+package selection
+
+import (
+	"fmt"
+
+	"simsym/internal/core"
+	"simsym/internal/distlabel"
+	"simsym/internal/family"
+	"simsym/internal/machine"
+)
+
+// Theorem 7: a homogeneous family of systems in Q has a selection
+// algorithm iff there is a set ELITE of processor labels such that each
+// member contains exactly one processor with a label in ELITE. The
+// program is Algorithm 3 (two-phase label learning) electing the ELITE
+// holder — one uniform program correct for every member of the family,
+// even though the processors cannot tell which member they inhabit.
+
+// FamilyDecision is the outcome for a homogeneous family.
+type FamilyDecision struct {
+	Solvable bool
+	Reason   string
+	// Elite is the Theorem 7 label set (family labeling space).
+	Elite []int
+	// MemberLabels[i][p] is processor p's family label in member i.
+	MemberLabels [][]int
+}
+
+// DecideFamilyQ solves the selection problem for a homogeneous family in
+// Q: compute the family (union) labeling, then attempt the ELITE
+// construction across the members' labelings.
+func DecideFamilyQ(fam *family.Family) (*FamilyDecision, error) {
+	labs, err := fam.Labeling(core.RuleQ)
+	if err != nil {
+		return nil, fmt.Errorf("selection: %w", err)
+	}
+	memberLabels := make([][]int, len(labs))
+	for i, ml := range labs {
+		memberLabels[i] = append([]int(nil), ml.ProcLabels...)
+	}
+	d := &FamilyDecision{MemberLabels: memberLabels}
+	for i, v := range memberLabels {
+		if len(uniqueLabels(v)) == 0 {
+			d.Reason = fmt.Sprintf("member %d has every processor paired under the family labeling (Theorem 2)", i)
+			return d, nil
+		}
+	}
+	elite, err := BuildElite(dedupVersions(memberLabels))
+	if err != nil {
+		d.Reason = fmt.Sprintf("no ELITE set exists: %v", err)
+		return d, nil
+	}
+	d.Solvable = true
+	d.Elite = elite
+	d.Reason = fmt.Sprintf("ELITE=%v covers each member exactly once (Theorem 7); Algorithm 3 elects the holder", elite)
+	return d, nil
+}
+
+// SelectFamilyQ generates the uniform Algorithm 3 selection program for
+// a solvable homogeneous family. Every member must satisfy the runtime
+// restriction (no duplicate name edges).
+func SelectFamilyQ(fam *family.Family) (*machine.Program, *FamilyDecision, error) {
+	for i, m := range fam.Members {
+		if err := distlabel.ValidateRuntime(m); err != nil {
+			return nil, nil, fmt.Errorf("selection: member %d: %w", i, err)
+		}
+	}
+	d, err := DecideFamilyQ(fam)
+	if err != nil {
+		return nil, nil, err
+	}
+	if !d.Solvable {
+		return nil, d, fmt.Errorf("%w: %s", ErrNotSolvable, d.Reason)
+	}
+	plan, err := distlabel.PlanAlgorithm3(fam)
+	if err != nil {
+		return nil, nil, fmt.Errorf("selection: %w", err)
+	}
+	// The plan's label space is the same family labeling (both come from
+	// fam.Labeling with phase-2 inits); rebuild ELITE against the plan's
+	// own member labels to stay in one space.
+	elite, err := BuildElite(dedupVersions(plan.MemberLabels))
+	if err != nil {
+		return nil, nil, fmt.Errorf("selection: plan labeling disagrees: %w", err)
+	}
+	d.Elite = elite
+	prog, err := plan.Program(distlabel.Options{Elite: elite})
+	if err != nil {
+		return nil, nil, fmt.Errorf("selection: %w", err)
+	}
+	return prog, d, nil
+}

@@ -1,0 +1,135 @@
+package selection
+
+import (
+	"errors"
+	"math/rand"
+	"testing"
+
+	"simsym/internal/family"
+	"simsym/internal/machine"
+	"simsym/internal/sched"
+	"simsym/internal/system"
+)
+
+func markedRingFamily(t *testing.T) *family.Family {
+	t.Helper()
+	base, err := system.Ring(4)
+	if err != nil {
+		t.Fatal(err)
+	}
+	a := base.Clone()
+	a.ProcInit[0] = "M"
+	b := base.Clone()
+	b.ProcInit[0] = "M"
+	b.ProcInit[1] = "M"
+	fam, err := family.NewHomogeneous([]*system.System{a, b})
+	if err != nil {
+		t.Fatal(err)
+	}
+	return fam
+}
+
+func TestDecideFamilyQSolvable(t *testing.T) {
+	// Two differently-marked rings: each member's family labeling has
+	// unique processors, and Theorem 7's ELITE covers both.
+	fam := markedRingFamily(t)
+	d, err := DecideFamilyQ(fam)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !d.Solvable {
+		t.Fatalf("family should be solvable: %s", d.Reason)
+	}
+	if len(d.Elite) == 0 {
+		t.Error("solvable family needs an ELITE")
+	}
+	// The invariant: exactly one elite processor per member.
+	for i, labels := range d.MemberLabels {
+		n := 0
+		for _, l := range labels {
+			for _, e := range d.Elite {
+				if l == e {
+					n++
+				}
+			}
+		}
+		if n != 1 {
+			t.Errorf("member %d has %d elite processors", i, n)
+		}
+	}
+}
+
+func TestDecideFamilyQUnsolvable(t *testing.T) {
+	// A family containing the fully anonymous ring: that member has
+	// every processor paired, so no selection algorithm can serve the
+	// whole family (Theorem 7's only-if direction).
+	base, err := system.Ring(4)
+	if err != nil {
+		t.Fatal(err)
+	}
+	marked := base.Clone()
+	marked.ProcInit[0] = "M"
+	fam, err := family.NewHomogeneous([]*system.System{base, marked})
+	if err != nil {
+		t.Fatal(err)
+	}
+	d, err := DecideFamilyQ(fam)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if d.Solvable {
+		t.Errorf("family with anonymous member should be unsolvable: %s", d.Reason)
+	}
+}
+
+func TestSelectFamilyQEndToEnd(t *testing.T) {
+	// One uniform program must elect exactly one processor on EVERY
+	// member of the family — the processors never learn which member
+	// they are in; they only learn their family label.
+	fam := markedRingFamily(t)
+	prog, d, err := SelectFamilyQ(fam)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !d.Solvable {
+		t.Fatalf("decision: %s", d.Reason)
+	}
+	for i, member := range fam.Members {
+		for seed := int64(0); seed < 3; seed++ {
+			m, err := machine.New(member, system.InstrQ, prog)
+			if err != nil {
+				t.Fatal(err)
+			}
+			rng := rand.New(rand.NewSource(seed + int64(i)*17))
+			for r := 0; r < 4000 && !m.AllHalted(); r++ {
+				round, err := sched.ShuffledRounds(rng, member.NumProcs(), 1)
+				if err != nil {
+					t.Fatal(err)
+				}
+				if _, err := m.Run(round); err != nil {
+					t.Fatal(err)
+				}
+			}
+			if !m.AllHalted() {
+				t.Fatalf("member %d seed %d: did not converge", i, seed)
+			}
+			if sel := m.SelectedProcs(); len(sel) != 1 {
+				t.Errorf("member %d seed %d: selected %v", i, seed, sel)
+			}
+		}
+	}
+}
+
+func TestSelectFamilyQUnsolvableErrors(t *testing.T) {
+	base, err := system.Ring(3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	fam, err := family.NewHomogeneous([]*system.System{base})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, _, err := SelectFamilyQ(fam); !errors.Is(err, ErrNotSolvable) {
+		t.Errorf("anonymous family err = %v, want ErrNotSolvable", err)
+	}
+}

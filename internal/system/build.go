@@ -1,0 +1,299 @@
+package system
+
+import (
+	"fmt"
+	"math/rand"
+)
+
+// Fig1 builds the paper's Figure 1: two processors p and q sharing a
+// single variable v, which both call by the same name. Under a round-robin
+// schedule p and q behave similarly, so no program can select either
+// (Theorem 2's running example).
+func Fig1() *System {
+	return &System{
+		Names:    []Name{"n"},
+		ProcIDs:  []string{"p", "q"},
+		VarIDs:   []string{"v"},
+		Nbr:      [][]int{{0}, {0}},
+		ProcInit: []string{"0", "0"},
+		VarInit:  []string{"0"},
+	}
+}
+
+// Fig2 builds the paper's Figure 2 ("Complicated Alibis"): p1 and p2 share
+// v1 (name n), p3 has v2 to itself (name n), and all three share v3 (name
+// m). The similarity labeling has two processor classes {p1,p2} and {p3};
+// learning the labels requires the alibi reasoning of Algorithm 2.
+func Fig2() *System {
+	return &System{
+		Names:    []Name{"n", "m"},
+		ProcIDs:  []string{"p1", "p2", "p3"},
+		VarIDs:   []string{"v1", "v2", "v3"},
+		Nbr:      [][]int{{0, 2}, {0, 2}, {1, 2}},
+		ProcInit: []string{"0", "0", "0"},
+		VarInit:  []string{"0", "0", "0"},
+	}
+}
+
+// Fig3 builds a reconstruction of the paper's Figure 3 ("A System in S").
+// The published image is unavailable in our source text; this network is
+// reverse-engineered from the surrounding prose and provably exhibits
+// every property the paper ascribes to the figure:
+//
+//   - if z never executes, p and q "behave as if they were similar"
+//     (the subsystem induced by {p,q} makes them similar), and
+//   - p cannot tell whether z has executed (z can write into p's variable
+//     u), so p can never safely learn its similarity label;
+//   - under the bounded-fair set-based labeling all three processors are
+//     dissimilar, so selection is solvable with bounded-fair schedules
+//     but not with merely fair ones — the exact separation section 6
+//     uses Figure 3 to illustrate.
+//
+// Topology: NAMES = {a, b};
+//
+//	p: a->u, b->t     q: a->w, b->t     z: a->w, b->u
+func Fig3() *System {
+	return &System{
+		Names:    []Name{"a", "b"},
+		ProcIDs:  []string{"p", "q", "z"},
+		VarIDs:   []string{"u", "w", "t"},
+		Nbr:      [][]int{{0, 2}, {1, 2}, {1, 0}},
+		ProcInit: []string{"0", "0", "0"},
+		VarInit:  []string{"0", "0", "0"},
+	}
+}
+
+// Ring builds a ring of n processors joined by n shared variables, with
+// NAMES = {left, right}: processor i calls variable i its right neighbor
+// and variable (i-1 mod n) its left neighbor. All initial states are "0",
+// so the ring is fully symmetric; rings are the canonical hard case for
+// anonymous selection.
+func Ring(n int) (*System, error) {
+	if n < 1 {
+		return nil, fmt.Errorf("%w: ring size %d", ErrShape, n)
+	}
+	s := &System{
+		Names:    []Name{"left", "right"},
+		ProcIDs:  make([]string, n),
+		VarIDs:   make([]string, n),
+		Nbr:      make([][]int, n),
+		ProcInit: make([]string, n),
+		VarInit:  make([]string, n),
+	}
+	for i := 0; i < n; i++ {
+		s.ProcIDs[i] = fmt.Sprintf("p%d", i)
+		s.VarIDs[i] = fmt.Sprintf("v%d", i)
+		s.Nbr[i] = []int{(i - 1 + n) % n, i} // left, right
+		s.ProcInit[i] = "0"
+		s.VarInit[i] = "0"
+	}
+	return s, nil
+}
+
+// Dining builds the paper's Figure 4 generalized to n philosophers:
+// processors are philosophers, variables are forks, and NAMES =
+// {left, right} with philosopher i's right fork being fork i and left
+// fork being fork (i-1 mod n). For n = 5 this is exactly Figure 4.
+func Dining(n int) (*System, error) {
+	if n < 2 {
+		return nil, fmt.Errorf("%w: dining size %d", ErrShape, n)
+	}
+	s, err := Ring(n)
+	if err != nil {
+		return nil, err
+	}
+	for i := 0; i < n; i++ {
+		s.ProcIDs[i] = fmt.Sprintf("phil%d", i)
+		s.VarIDs[i] = fmt.Sprintf("fork%d", i)
+	}
+	return s, nil
+}
+
+// DiningFlipped builds the paper's Figure 5: n philosophers (n even) where
+// alternate philosophers have "put their backs to the table", so each
+// philosopher's right fork is also its neighbor's right fork. Even-indexed
+// philosophers face the table (right = fork i, left = fork i-1); odd-
+// indexed philosophers are flipped (right = fork i-1, left = fork i).
+// Every fork is therefore either a shared-right fork or a shared-left
+// fork, and philosophers fall into two similarity classes, which is what
+// makes a deterministic symmetric solution possible (DP').
+func DiningFlipped(n int) (*System, error) {
+	if n < 4 || n%2 != 0 {
+		return nil, fmt.Errorf("%w: flipped dining needs even size >= 4, got %d", ErrShape, n)
+	}
+	s := &System{
+		Names:    []Name{"left", "right"},
+		ProcIDs:  make([]string, n),
+		VarIDs:   make([]string, n),
+		Nbr:      make([][]int, n),
+		ProcInit: make([]string, n),
+		VarInit:  make([]string, n),
+	}
+	for i := 0; i < n; i++ {
+		s.ProcIDs[i] = fmt.Sprintf("phil%d", i)
+		s.VarIDs[i] = fmt.Sprintf("fork%d", i)
+		prev := (i - 1 + n) % n
+		if i%2 == 0 {
+			s.Nbr[i] = []int{prev, i} // left, right
+		} else {
+			s.Nbr[i] = []int{i, prev} // flipped: left=fork i, right=fork i-1
+		}
+		s.ProcInit[i] = "0"
+		s.VarInit[i] = "0"
+	}
+	return s, nil
+}
+
+// Star builds n processors that all share one central variable (name
+// "hub") and each own a private variable (name "own").
+func Star(n int) (*System, error) {
+	if n < 1 {
+		return nil, fmt.Errorf("%w: star size %d", ErrShape, n)
+	}
+	s := &System{
+		Names:    []Name{"hub", "own"},
+		ProcIDs:  make([]string, n),
+		VarIDs:   make([]string, n+1),
+		Nbr:      make([][]int, n),
+		ProcInit: make([]string, n),
+		VarInit:  make([]string, n+1),
+	}
+	s.VarIDs[0] = "center"
+	s.VarInit[0] = "0"
+	for i := 0; i < n; i++ {
+		s.ProcIDs[i] = fmt.Sprintf("p%d", i)
+		s.VarIDs[i+1] = fmt.Sprintf("m%d", i)
+		s.VarInit[i+1] = "0"
+		s.Nbr[i] = []int{0, i + 1}
+		s.ProcInit[i] = "0"
+	}
+	return s, nil
+}
+
+// QOverSWitness builds a system whose selection problem is solvable in Q
+// but not in bounded-fair S: p1 and p2 share variable v under name "a"
+// while p3 has variable w to itself, and all three share t under name "b".
+// Counting neighbors (possible in Q via peek multisets) separates p3; the
+// set-based environments of S cannot tell one a-writer from two, so all
+// three processors stay similar. Used as the Q ⊃ bounded-fair-S witness
+// of the section 9 hierarchy.
+func QOverSWitness() *System {
+	return &System{
+		Names:    []Name{"a", "b"},
+		ProcIDs:  []string{"p1", "p2", "p3"},
+		VarIDs:   []string{"v", "w", "t"},
+		Nbr:      [][]int{{0, 2}, {0, 2}, {1, 2}},
+		ProcInit: []string{"0", "0", "0"},
+		VarInit:  []string{"0", "0", "0"},
+	}
+}
+
+// LOverQWitness returns Figure 1: solvable in L (the two processors race
+// on v's lock bit and the loser learns it lost) but unsolvable in Q, where
+// they remain similar forever. Used as the L ⊃ Q witness of the section 9
+// hierarchy.
+func LOverQWitness() *System { return Fig1() }
+
+// RandomOpts configures RandomSystem.
+type RandomOpts struct {
+	Procs      int
+	Vars       int
+	Names      int
+	InitStates int // number of distinct initial-state values to draw from
+}
+
+// RandomSystem generates a pseudo-random valid system (every processor
+// gets one neighbor per name; orphan variables are re-attached). The
+// result may be disconnected. Deterministic for a fixed seed; used by
+// property-based tests.
+func RandomSystem(rng *rand.Rand, opts RandomOpts) (*System, error) {
+	if opts.Procs < 1 || opts.Vars < 1 || opts.Names < 1 {
+		return nil, fmt.Errorf("%w: random system needs >=1 proc, var, name", ErrShape)
+	}
+	if opts.InitStates < 1 {
+		opts.InitStates = 1
+	}
+	s := &System{
+		Names:    make([]Name, opts.Names),
+		ProcIDs:  make([]string, opts.Procs),
+		VarIDs:   make([]string, opts.Vars),
+		Nbr:      make([][]int, opts.Procs),
+		ProcInit: make([]string, opts.Procs),
+		VarInit:  make([]string, opts.Vars),
+	}
+	for j := range s.Names {
+		s.Names[j] = Name(fmt.Sprintf("n%d", j))
+	}
+	for v := range s.VarIDs {
+		s.VarIDs[v] = fmt.Sprintf("v%d", v)
+		s.VarInit[v] = fmt.Sprintf("s%d", rng.Intn(opts.InitStates))
+	}
+	touched := make([]bool, opts.Vars)
+	for p := range s.ProcIDs {
+		s.ProcIDs[p] = fmt.Sprintf("p%d", p)
+		s.ProcInit[p] = fmt.Sprintf("s%d", rng.Intn(opts.InitStates))
+		row := make([]int, opts.Names)
+		for j := range row {
+			row[j] = rng.Intn(opts.Vars)
+			touched[row[j]] = true
+		}
+		s.Nbr[p] = row
+	}
+	// Re-attach orphan variables by rewiring random (proc, name) slots.
+	for v, ok := range touched {
+		if ok {
+			continue
+		}
+		p := rng.Intn(opts.Procs)
+		j := rng.Intn(opts.Names)
+		// The displaced variable may itself become an orphan only if this
+		// was its last edge; walk forward to keep the fixup loop simple by
+		// re-scanning afterwards.
+		s.Nbr[p][j] = v
+		touched[v] = true
+	}
+	// Re-scan: the fixups above can orphan previously-touched variables.
+	for {
+		used := make([]bool, opts.Vars)
+		for p := range s.Nbr {
+			for _, v := range s.Nbr[p] {
+				used[v] = true
+			}
+		}
+		orphan := -1
+		for v, ok := range used {
+			if !ok {
+				orphan = v
+				break
+			}
+		}
+		if orphan == -1 {
+			break
+		}
+		// Give the orphan an edge from a processor whose current target
+		// for that name has another edge elsewhere.
+		fixed := false
+		for p := 0; p < opts.Procs && !fixed; p++ {
+			for j := 0; j < opts.Names && !fixed; j++ {
+				old := s.Nbr[p][j]
+				count := 0
+				for q := range s.Nbr {
+					for _, v := range s.Nbr[q] {
+						if v == old {
+							count++
+						}
+					}
+				}
+				if count > 1 {
+					s.Nbr[p][j] = orphan
+					fixed = true
+				}
+			}
+		}
+		if !fixed {
+			return nil, fmt.Errorf("%w: cannot attach all %d variables with %d edge slots",
+				ErrShape, opts.Vars, opts.Procs*opts.Names)
+		}
+	}
+	return s, nil
+}

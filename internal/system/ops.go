@@ -1,0 +1,207 @@
+package system
+
+import (
+	"fmt"
+	"sort"
+)
+
+// Union returns the disjoint union of a and b. The two systems must have
+// identical NAMES sets (the paper only forms unions within a family, where
+// NAMES is shared). Node identifiers are suffixed to stay unique. The
+// result is generally disconnected — that is the point: the paper's
+// family-of-systems constructions reason about exactly such unions.
+func Union(a, b *System) (*System, error) {
+	if len(a.Names) != len(b.Names) {
+		return nil, fmt.Errorf("%w: NAMES differ in size (%d vs %d)", ErrShape, len(a.Names), len(b.Names))
+	}
+	for i := range a.Names {
+		if a.Names[i] != b.Names[i] {
+			return nil, fmt.Errorf("%w: NAMES differ at %d (%q vs %q)", ErrShape, i, a.Names[i], b.Names[i])
+		}
+	}
+	u := &System{
+		Names:    append([]Name(nil), a.Names...),
+		ProcIDs:  make([]string, 0, a.NumProcs()+b.NumProcs()),
+		VarIDs:   make([]string, 0, a.NumVars()+b.NumVars()),
+		Nbr:      make([][]int, 0, a.NumProcs()+b.NumProcs()),
+		ProcInit: make([]string, 0, a.NumProcs()+b.NumProcs()),
+		VarInit:  make([]string, 0, a.NumVars()+b.NumVars()),
+	}
+	for p := range a.ProcIDs {
+		u.ProcIDs = append(u.ProcIDs, a.ProcIDs[p]+"#a")
+		u.Nbr = append(u.Nbr, append([]int(nil), a.Nbr[p]...))
+		u.ProcInit = append(u.ProcInit, a.ProcInit[p])
+	}
+	for v := range a.VarIDs {
+		u.VarIDs = append(u.VarIDs, a.VarIDs[v]+"#a")
+		u.VarInit = append(u.VarInit, a.VarInit[v])
+	}
+	voff := a.NumVars()
+	for p := range b.ProcIDs {
+		row := make([]int, len(b.Nbr[p]))
+		for j, v := range b.Nbr[p] {
+			row[j] = v + voff
+		}
+		u.ProcIDs = append(u.ProcIDs, b.ProcIDs[p]+"#b")
+		u.Nbr = append(u.Nbr, row)
+		u.ProcInit = append(u.ProcInit, b.ProcInit[p])
+	}
+	for v := range b.VarIDs {
+		u.VarIDs = append(u.VarIDs, b.VarIDs[v]+"#b")
+		u.VarInit = append(u.VarInit, b.VarInit[v])
+	}
+	return u, nil
+}
+
+// UnionAll folds Union over a non-empty list of systems.
+func UnionAll(systems []*System) (*System, error) {
+	if len(systems) == 0 {
+		return nil, fmt.Errorf("%w: empty union", ErrShape)
+	}
+	u := systems[0].Clone()
+	for i := 1; i < len(systems); i++ {
+		var err error
+		u, err = Union(u, systems[i])
+		if err != nil {
+			return nil, fmt.Errorf("union member %d: %w", i, err)
+		}
+	}
+	return u, nil
+}
+
+// Induced returns the subsystem induced by the processor set procs: the
+// kept processors retain all their name-edges, the variable set is the
+// union of their neighbors, and each kept variable keeps only edges from
+// kept processors. This is the subsystem notion used by the paper's mimic
+// relation (section 6, fair systems in S).
+//
+// The returned map gives, for each kept processor, its index in the new
+// system ("the image of y in the subsystem").
+func Induced(s *System, procs []int) (*System, map[int]int, error) {
+	if len(procs) == 0 {
+		return nil, nil, ErrEmptySubsetPs
+	}
+	keep := make([]int, len(procs))
+	copy(keep, procs)
+	sort.Ints(keep)
+	for i, p := range keep {
+		if p < 0 || p >= s.NumProcs() {
+			return nil, nil, fmt.Errorf("%w: processor %d", ErrUnknownNode, p)
+		}
+		if i > 0 && keep[i] == keep[i-1] {
+			return nil, nil, fmt.Errorf("%w: duplicate processor %d in subset", ErrShape, p)
+		}
+	}
+	varMap := make(map[int]int) // old var index -> new
+	sub := &System{Names: append([]Name(nil), s.Names...)}
+	procMap := make(map[int]int, len(keep))
+	for newP, oldP := range keep {
+		procMap[oldP] = newP
+		sub.ProcIDs = append(sub.ProcIDs, s.ProcIDs[oldP])
+		sub.ProcInit = append(sub.ProcInit, s.ProcInit[oldP])
+		row := make([]int, len(s.Names))
+		for j, oldV := range s.Nbr[oldP] {
+			newV, ok := varMap[oldV]
+			if !ok {
+				newV = len(sub.VarIDs)
+				varMap[oldV] = newV
+				sub.VarIDs = append(sub.VarIDs, s.VarIDs[oldV])
+				sub.VarInit = append(sub.VarInit, s.VarInit[oldV])
+			}
+			row[j] = newV
+		}
+		sub.Nbr = append(sub.Nbr, row)
+	}
+	return sub, procMap, nil
+}
+
+// Permutation describes a candidate isomorphism between two systems with
+// identical NAMES: ProcPerm[p] is the image of processor p, VarPerm[v] the
+// image of variable v.
+type Permutation struct {
+	ProcPerm []int
+	VarPerm  []int
+}
+
+// Apply returns a copy of s with nodes renumbered by perm. It is used to
+// generate isomorphic variants for metamorphic tests ("isomorphic systems
+// get isomorphic similarity labelings").
+func Apply(s *System, perm Permutation) (*System, error) {
+	if len(perm.ProcPerm) != s.NumProcs() || len(perm.VarPerm) != s.NumVars() {
+		return nil, fmt.Errorf("%w: permutation size mismatch", ErrShape)
+	}
+	if err := checkPerm(perm.ProcPerm); err != nil {
+		return nil, fmt.Errorf("processor permutation: %w", err)
+	}
+	if err := checkPerm(perm.VarPerm); err != nil {
+		return nil, fmt.Errorf("variable permutation: %w", err)
+	}
+	out := &System{
+		Names:    append([]Name(nil), s.Names...),
+		ProcIDs:  make([]string, s.NumProcs()),
+		VarIDs:   make([]string, s.NumVars()),
+		Nbr:      make([][]int, s.NumProcs()),
+		ProcInit: make([]string, s.NumProcs()),
+		VarInit:  make([]string, s.NumVars()),
+	}
+	for p := range s.ProcIDs {
+		img := perm.ProcPerm[p]
+		out.ProcIDs[img] = s.ProcIDs[p]
+		out.ProcInit[img] = s.ProcInit[p]
+		row := make([]int, len(s.Nbr[p]))
+		for j, v := range s.Nbr[p] {
+			row[j] = perm.VarPerm[v]
+		}
+		out.Nbr[img] = row
+	}
+	for v := range s.VarIDs {
+		out.VarIDs[perm.VarPerm[v]] = s.VarIDs[v]
+		out.VarInit[perm.VarPerm[v]] = s.VarInit[v]
+	}
+	return out, nil
+}
+
+// IsAutomorphism reports whether perm maps s onto itself: edges, edge
+// names, and initial states are all preserved. This is the paper's
+// graph-theoretic symmetry (footnote 1).
+func IsAutomorphism(s *System, perm Permutation) (bool, error) {
+	if len(perm.ProcPerm) != s.NumProcs() || len(perm.VarPerm) != s.NumVars() {
+		return false, fmt.Errorf("%w: permutation size mismatch", ErrShape)
+	}
+	if err := checkPerm(perm.ProcPerm); err != nil {
+		return false, fmt.Errorf("processor permutation: %w", err)
+	}
+	if err := checkPerm(perm.VarPerm); err != nil {
+		return false, fmt.Errorf("variable permutation: %w", err)
+	}
+	for p := range s.Nbr {
+		if s.ProcInit[p] != s.ProcInit[perm.ProcPerm[p]] {
+			return false, nil
+		}
+		for j, v := range s.Nbr[p] {
+			if perm.VarPerm[v] != s.Nbr[perm.ProcPerm[p]][j] {
+				return false, nil
+			}
+		}
+	}
+	for v := range s.VarInit {
+		if s.VarInit[v] != s.VarInit[perm.VarPerm[v]] {
+			return false, nil
+		}
+	}
+	return true, nil
+}
+
+func checkPerm(perm []int) error {
+	seen := make([]bool, len(perm))
+	for _, x := range perm {
+		if x < 0 || x >= len(perm) {
+			return fmt.Errorf("%w: image %d out of range", ErrShape, x)
+		}
+		if seen[x] {
+			return fmt.Errorf("%w: image %d repeated", ErrShape, x)
+		}
+		seen[x] = true
+	}
+	return nil
+}

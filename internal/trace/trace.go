@@ -1,0 +1,158 @@
+// Package trace checks the paper's similarity claims empirically: it runs
+// a program on the machine under a class-sorted round-robin schedule and
+// verifies that same-labeled nodes have the same state at every round
+// boundary — the schedule constructed in Theorem 4's proof.
+//
+// A schedule "causes nodes to behave similarly" when it gives them the
+// same state at the same time infinitely often, for any program. The
+// class-sorted round-robin delivers a stronger, checkable version: equal
+// state at every round boundary. Violations come with the round number
+// and the offending node pair, which makes the package a sharp test bed
+// for labelings that merely claim to be supersimilar.
+package trace
+
+import (
+	"errors"
+	"fmt"
+	"sort"
+
+	"simsym/internal/core"
+	"simsym/internal/machine"
+	"simsym/internal/system"
+)
+
+// Sentinel errors.
+var (
+	ErrShape = errors.New("trace: labeling does not match system")
+)
+
+// Violation records the first point where two same-labeled nodes diverged.
+type Violation struct {
+	Round int
+	Kind  system.Kind
+	A, B  int // node indices within their kind
+}
+
+// String implements fmt.Stringer.
+func (v *Violation) String() string {
+	return fmt.Sprintf("round %d: %v %d and %d diverged", v.Round, v.Kind, v.A, v.B)
+}
+
+// Report is the result of a witness run.
+type Report struct {
+	Rounds    int
+	Steps     int
+	Violation *Violation // nil when all rounds stayed in sync
+}
+
+// Synced reports whether no divergence was observed.
+func (r *Report) Synced() bool { return r.Violation == nil }
+
+// ClassSortedRound returns one round of the witness schedule: every
+// processor once, ordered by (label, index). Same-labeled processors run
+// consecutively, which is what makes the Theorem 4 argument go through
+// for variables shared across classes.
+func ClassSortedRound(lab *core.Labeling) []int {
+	order := make([]int, len(lab.ProcLabels))
+	for i := range order {
+		order[i] = i
+	}
+	sort.Slice(order, func(a, b int) bool {
+		la, lb := lab.ProcLabels[order[a]], lab.ProcLabels[order[b]]
+		if la != lb {
+			return la < lb
+		}
+		return order[a] < order[b]
+	})
+	return order
+}
+
+// Witness runs prog on sys under instr for the given number of rounds of
+// the class-sorted round-robin schedule, checking after every round that
+// all same-labeled processors and all same-labeled variables have equal
+// state fingerprints.
+func Witness(sys *system.System, instr system.InstrSet, prog *machine.Program, lab *core.Labeling, rounds int) (*Report, error) {
+	if len(lab.ProcLabels) != sys.NumProcs() || len(lab.VarLabels) != sys.NumVars() {
+		return nil, ErrShape
+	}
+	m, err := machine.New(sys, instr, prog)
+	if err != nil {
+		return nil, fmt.Errorf("trace: %w", err)
+	}
+	round := ClassSortedRound(lab)
+	rep := &Report{}
+	for r := 1; r <= rounds; r++ {
+		for _, p := range round {
+			if err := m.Step(p); err != nil {
+				return nil, fmt.Errorf("trace: round %d: %w", r, err)
+			}
+			rep.Steps++
+		}
+		rep.Rounds = r
+		if viol := checkSync(m, lab); viol != nil {
+			viol.Round = r
+			rep.Violation = viol
+			return rep, nil
+		}
+		if m.AllHalted() {
+			break
+		}
+	}
+	return rep, nil
+}
+
+func checkSync(m *machine.Machine, lab *core.Labeling) *Violation {
+	sys := m.System()
+	procRep := make(map[int]int) // label -> representative
+	for p := 0; p < sys.NumProcs(); p++ {
+		l := lab.ProcLabels[p]
+		if rep, ok := procRep[l]; ok {
+			if m.ProcFingerprint(rep) != m.ProcFingerprint(p) {
+				return &Violation{Kind: system.KindProcessor, A: rep, B: p}
+			}
+		} else {
+			procRep[l] = p
+		}
+	}
+	varRep := make(map[int]int)
+	for v := 0; v < sys.NumVars(); v++ {
+		l := lab.VarLabels[v]
+		if rep, ok := varRep[l]; ok {
+			if m.VarFingerprint(rep) != m.VarFingerprint(v) {
+				return &Violation{Kind: system.KindVariable, A: rep, B: v}
+			}
+		} else {
+			varRep[l] = v
+		}
+	}
+	return nil
+}
+
+// EventuallySelectsTwo runs prog under the class-sorted round-robin and
+// reports whether at some point two same-labeled processors are both
+// selected — the Theorem 2 violation scenario (if a selection algorithm
+// selects p under this schedule, the similar q is selected too).
+func EventuallySelectsTwo(sys *system.System, instr system.InstrSet, prog *machine.Program, lab *core.Labeling, rounds int) (bool, error) {
+	if len(lab.ProcLabels) != sys.NumProcs() {
+		return false, ErrShape
+	}
+	m, err := machine.New(sys, instr, prog)
+	if err != nil {
+		return false, fmt.Errorf("trace: %w", err)
+	}
+	round := ClassSortedRound(lab)
+	for r := 0; r < rounds; r++ {
+		for _, p := range round {
+			if err := m.Step(p); err != nil {
+				return false, fmt.Errorf("trace: %w", err)
+			}
+		}
+		if len(m.SelectedProcs()) >= 2 {
+			return true, nil
+		}
+		if m.AllHalted() {
+			break
+		}
+	}
+	return len(m.SelectedProcs()) >= 2, nil
+}

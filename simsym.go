@@ -1,0 +1,284 @@
+// Package simsym is a library companion to Johnson & Schneider,
+// "Symmetry and Similarity in Distributed Systems" (PODC 1985).
+//
+// It models anonymous concurrent systems — processors connected to shared
+// variables through local names — and implements the paper's theory end
+// to end: similarity labelings (Algorithm 1) under the S, L, and Q
+// instruction sets; the distributed label-learning programs (Algorithms 2
+// and 3); the selection problem's decision procedures and the SELECT /
+// Algorithm 4 constructions; graph-theoretic symmetry and Theorems 10–11;
+// the Dining Philosophers results DP and DP'; message-passing and CSP
+// transfers; and the randomized symmetry breakers of section 8. A small
+// VM executes the generated programs one atomic step at a time, and an
+// explicit-state model checker verifies Uniqueness, Stability, exclusion,
+// and deadlock-freedom over every schedule.
+//
+// This package is the public facade: it re-exports the stable surface of
+// the internal packages so downstream users never import simsym/internal.
+//
+// Quick start:
+//
+//	sys, _ := simsym.Ring(5)
+//	lab, _ := simsym.Similarity(sys, simsym.RuleQ)
+//	fmt.Println(lab)                       // one class: all similar
+//	d, _ := simsym.Decide(sys, simsym.InstrL, simsym.SchedFair)
+//	fmt.Println(d.Solvable, d.Reason)      // false: rings stay anonymous
+package simsym
+
+import (
+	"errors"
+
+	"simsym/internal/autgrp"
+	"simsym/internal/core"
+	"simsym/internal/csp"
+	"simsym/internal/dining"
+	"simsym/internal/family"
+	"simsym/internal/machine"
+	"simsym/internal/mc"
+	"simsym/internal/mimic"
+	"simsym/internal/msgpass"
+	"simsym/internal/randomized"
+	"simsym/internal/sched"
+	"simsym/internal/selection"
+	"simsym/internal/sysdsl"
+	"simsym/internal/system"
+	"simsym/internal/trace"
+)
+
+// Core model types.
+type (
+	// System is a bipartite network of processors and shared variables
+	// with a naming function and initial states (paper section 2).
+	System = system.System
+	// Name is a processor-local variable name.
+	Name = system.Name
+	// InstrSet identifies an instruction set (S, L, Q, extended L).
+	InstrSet = system.InstrSet
+	// ScheduleClass identifies a schedule class.
+	ScheduleClass = system.ScheduleClass
+	// Permutation is a candidate (auto)morphism.
+	Permutation = system.Permutation
+
+	// Labeling is a (similarity) labeling of a system's nodes.
+	Labeling = core.Labeling
+	// Rule selects the environment rule for refinement.
+	Rule = core.Rule
+
+	// Decision is a selection-problem verdict.
+	Decision = selection.Decision
+
+	// Machine executes programs over systems.
+	Machine = machine.Machine
+	// Program is an executable instruction list.
+	Program = machine.Program
+	// ProgramBuilder assembles programs.
+	ProgramBuilder = machine.Builder
+	// Locals is a processor's local store.
+	Locals = machine.Locals
+
+	// Orbits holds automorphism orbits (graph-theoretic symmetry).
+	Orbits = autgrp.Orbits
+
+	// MsgNetwork is a directed message-passing processor graph.
+	MsgNetwork = msgpass.Network
+)
+
+// Instruction sets and schedule classes (paper section 2).
+const (
+	InstrS    = system.InstrS
+	InstrL    = system.InstrL
+	InstrQ    = system.InstrQ
+	InstrExtL = system.InstrExtL
+
+	SchedGeneral     = system.SchedGeneral
+	SchedFair        = system.SchedFair
+	SchedBoundedFair = system.SchedBoundedFair
+
+	// RuleQ counts variable neighbors per label (instruction set Q);
+	// RuleSetS records only label sets (instruction set S).
+	RuleQ    = core.RuleQ
+	RuleSetS = core.RuleSetS
+)
+
+// Example systems and builders.
+var (
+	// Fig1 builds the paper's Figure 1 (two processors, one variable).
+	Fig1 = system.Fig1
+	// Fig2 builds the paper's Figure 2 ("Complicated Alibis").
+	Fig2 = system.Fig2
+	// Fig3 builds the reconstruction of Figure 3 (fair-S mimicry).
+	Fig3 = system.Fig3
+	// Ring builds an anonymous ring of n processors.
+	Ring = system.Ring
+	// Dining builds the Figure 4 dining table for n philosophers.
+	Dining = system.Dining
+	// DiningFlipped builds the Figure 5 alternating table (n even).
+	DiningFlipped = system.DiningFlipped
+	// Star builds n processors sharing one hub variable.
+	Star = system.Star
+)
+
+// Similarity computes the similarity labeling Θ of sys under the given
+// environment rule (Algorithm 1 / Theorem 5).
+func Similarity(sys *System, rule Rule) (*Labeling, error) {
+	return core.Similarity(sys, rule)
+}
+
+// Decide solves the selection problem's decision half for the given
+// model (Theorems 1–3, 7–9 and the section 6 mimicry criterion).
+func Decide(sys *System, instr InstrSet, sch ScheduleClass) (*Decision, error) {
+	return selection.Decide(sys, instr, sch)
+}
+
+// BuildSelect produces a runnable selection program (the paper's SELECT /
+// Algorithm 4) for a solvable system in Q or L.
+func BuildSelect(sys *System, instr InstrSet, sch ScheduleClass) (*Program, *Decision, error) {
+	return selection.Select(sys, instr, sch)
+}
+
+// NewMachine initializes a VM for sys under an instruction set.
+func NewMachine(sys *System, instr InstrSet, prog *Program) (*Machine, error) {
+	return machine.New(sys, instr, prog)
+}
+
+// NewProgram returns an empty program builder.
+func NewProgram() *ProgramBuilder { return machine.NewBuilder() }
+
+// ComputeOrbits enumerates the automorphism group and node orbits
+// (graph-theoretic symmetry, Theorems 10–11).
+func ComputeOrbits(sys *System) (*Orbits, error) {
+	return autgrp.Compute(sys, autgrp.Options{})
+}
+
+// MimicsNobody returns the processors that mimic no other processor in a
+// fair system in S — the safe self-selectors (section 6).
+func MimicsNobody(sys *System) ([]int, error) {
+	rel, err := mimic.Compute(sys)
+	if err != nil {
+		return nil, err
+	}
+	return rel.MimicsNobody(), nil
+}
+
+// HomogeneousFamily groups systems sharing one topology, differing only
+// in initial states (section 5).
+func HomogeneousFamily(members []*System) (*family.Family, error) {
+	return family.NewHomogeneous(members)
+}
+
+// DecideFamily solves the selection problem for a homogeneous family in
+// Q (Theorem 7): solvable iff an ELITE label set covers each member
+// exactly once.
+func DecideFamily(fam *family.Family) (*selection.FamilyDecision, error) {
+	return selection.DecideFamilyQ(fam)
+}
+
+// BuildSelectFamily generates the uniform Algorithm 3 program electing
+// the ELITE holder on every member of a solvable family.
+func BuildSelectFamily(fam *family.Family) (*Program, *selection.FamilyDecision, error) {
+	return selection.SelectFamilyQ(fam)
+}
+
+// RelabelVersions enumerates the paper's VERSIONS for a system in L: the
+// similarity labelings (shared label space) of every relabel outcome.
+func RelabelVersions(sys *System) ([][]int, error) {
+	versions, err := family.Versions(sys, family.RelabelOptions{})
+	if err != nil {
+		return nil, err
+	}
+	out := make([][]int, len(versions))
+	for i, v := range versions {
+		out[i] = append([]int(nil), v.ProcLabels...)
+	}
+	return out, nil
+}
+
+// RoundRobin returns the canonical fair schedule prefix.
+func RoundRobin(n, rounds int) ([]int, error) { return sched.RoundRobin(n, rounds) }
+
+// WitnessSimilarity runs prog under the class-sorted round-robin schedule
+// and checks that same-labeled nodes stay in the same state at every
+// round boundary (the Theorem 4 witness). It returns true when no
+// divergence was observed.
+func WitnessSimilarity(sys *System, instr InstrSet, prog *Program, lab *Labeling, rounds int) (bool, error) {
+	rep, err := trace.Witness(sys, instr, prog, lab, rounds)
+	if err != nil {
+		return false, err
+	}
+	return rep.Synced(), nil
+}
+
+// CheckSelectionSafety model-checks a selection program over every
+// schedule: no state with two selected processors, no transition that
+// unselects one. safe && complete is a proof over the full reachable
+// space; safe && !complete means no violation was found within the
+// maxStates budget (bounded verification).
+func CheckSelectionSafety(sys *System, instr InstrSet, prog *Program, maxStates int) (safe, complete bool, err error) {
+	res, err := mc.Check(func() (*Machine, error) {
+		return machine.New(sys, instr, prog)
+	}, mc.Options{
+		MaxStates:  maxStates,
+		StatePreds: []mc.StatePredicate{mc.UniquenessPred},
+		TransPreds: []mc.TransitionPredicate{mc.StabilityPred},
+	})
+	if errors.Is(err, mc.ErrBudget) {
+		return true, false, nil
+	}
+	if err != nil {
+		return false, false, err
+	}
+	return res.Violation == nil, res.Complete, nil
+}
+
+// DiningProgram returns the uniform fork-grabbing philosopher program.
+func DiningProgram(first, second Name, meals int) (*Program, error) {
+	return dining.Program(first, second, meals)
+}
+
+// CheckDining model-checks a dining program for exclusion and deadlock.
+func CheckDining(sys *System, prog *Program, maxStates int) (*dining.Report, error) {
+	return dining.Check(sys, prog, maxStates)
+}
+
+// OrientedDiningTable builds the Chandy–Misra table: the acyclic fork
+// orientation lives in the initial state (section 8's encapsulated
+// asymmetry).
+func OrientedDiningTable(n int, towardRight []bool) (*System, error) {
+	return dining.OrientedTable(n, towardRight)
+}
+
+// ChandyMisraProgram returns the uniform dirty-fork philosopher program.
+func ChandyMisraProgram(meals int) (*Program, error) {
+	return dining.ChandyMisraProgram(meals)
+}
+
+// ItaiRodehSweep runs the randomized anonymous-ring election repeatedly.
+func ItaiRodehSweep(seed int64, n, idSpace, maxPhases, runs int) (*randomized.ElectionStats, error) {
+	return randomized.ElectionSweep(seed, n, idSpace, maxPhases, runs)
+}
+
+// ParseSystem reads the sysdsl text format (or a generator directive).
+func ParseSystem(src string) (*System, error) { return sysdsl.Parse(src) }
+
+// SerializeSystem renders a system in the sysdsl text format.
+func SerializeSystem(sys *System) string { return sysdsl.Serialize(sys) }
+
+// ExportDOT renders the network in Graphviz DOT format.
+func ExportDOT(sys *System, title string) string { return sysdsl.DOT(sys, title) }
+
+// MsgSimilarity computes the similarity labeling of a message-passing
+// network (section 6): counting environments for the Q-like regime, set
+// environments for the overwrite regime.
+func MsgSimilarity(n *MsgNetwork, counting bool) ([]int, error) {
+	return msgpass.Similarity(n, counting)
+}
+
+// CSPNet is a synchronous (CSP) process network of two-endpoint channels.
+type CSPNet = csp.Net
+
+// CSPRing builds the CSP ring network.
+func CSPRing(n int) (*CSPNet, error) { return csp.RingNet(n) }
+
+// DecideExtendedCSP solves the selection problem under CSP extended with
+// output guards, via the channel-shaped L translation (section 6).
+func DecideExtendedCSP(n *CSPNet) (*Decision, error) { return csp.DecideExtended(n) }

@@ -1,0 +1,216 @@
+package simsym_test
+
+import (
+	"strings"
+	"testing"
+
+	"simsym"
+)
+
+func TestFacadeQuickstart(t *testing.T) {
+	sys, err := simsym.Ring(5)
+	if err != nil {
+		t.Fatal(err)
+	}
+	lab, err := simsym.Similarity(sys, simsym.RuleQ)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if lab.NumProcClasses() != 1 {
+		t.Errorf("ring classes = %d, want 1", lab.NumProcClasses())
+	}
+	d, err := simsym.Decide(sys, simsym.InstrL, simsym.SchedFair)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if d.Solvable {
+		t.Error("anonymous ring should be unsolvable even in L")
+	}
+}
+
+func TestFacadeSelectAndRun(t *testing.T) {
+	sys := simsym.Fig2()
+	prog, d, err := simsym.BuildSelect(sys, simsym.InstrQ, simsym.SchedFair)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !d.Solvable {
+		t.Fatalf("decision: %s", d.Reason)
+	}
+	m, err := simsym.NewMachine(sys, simsym.InstrQ, prog)
+	if err != nil {
+		t.Fatal(err)
+	}
+	rr, err := simsym.RoundRobin(sys.NumProcs(), 300)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := m.Run(rr); err != nil {
+		t.Fatal(err)
+	}
+	if sel := m.SelectedProcs(); len(sel) != 1 {
+		t.Errorf("selected = %v", sel)
+	}
+}
+
+func TestFacadeSafetyCheck(t *testing.T) {
+	sys := simsym.Fig1()
+	prog, _, err := simsym.BuildSelect(sys, simsym.InstrL, simsym.SchedFair)
+	if err != nil {
+		t.Fatal(err)
+	}
+	safe, _, err := simsym.CheckSelectionSafety(sys, simsym.InstrL, prog, 100_000)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !safe {
+		t.Error("Algorithm 4 on Fig1 should be safe")
+	}
+}
+
+func TestFacadeOrbitsAndVersions(t *testing.T) {
+	dp, err := simsym.Dining(5)
+	if err != nil {
+		t.Fatal(err)
+	}
+	o, err := simsym.ComputeOrbits(dp)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(o.ProcClasses()) != 1 {
+		t.Error("philosophers should form one orbit")
+	}
+	versions, err := simsym.RelabelVersions(simsym.Fig1())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(versions) == 0 {
+		t.Error("Fig1 should have relabel versions")
+	}
+}
+
+func TestFacadeDSLAndDOT(t *testing.T) {
+	sys, err := simsym.ParseSystem("gen dining 5")
+	if err != nil {
+		t.Fatal(err)
+	}
+	text := simsym.SerializeSystem(sys)
+	back, err := simsym.ParseSystem(text)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if back.NumProcs() != 5 {
+		t.Errorf("round trip procs = %d", back.NumProcs())
+	}
+	if !strings.Contains(simsym.ExportDOT(sys, "t"), "phil0") {
+		t.Error("DOT missing node")
+	}
+}
+
+func TestFacadeMimicAndMsgPass(t *testing.T) {
+	free, err := simsym.MimicsNobody(simsym.Fig3())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(free) != 0 {
+		t.Errorf("Fig3 safe deciders = %v, want none", free)
+	}
+	net := &simsym.MsgNetwork{
+		ProcIDs: []string{"a", "b"},
+		Init:    []string{"0", "0"},
+		Out:     [][]int{{1}, {0}},
+	}
+	labels, err := simsym.MsgSimilarity(net, true)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if labels[0] != labels[1] {
+		t.Error("two-ring should be similar")
+	}
+}
+
+func TestFacadeWitnessAndDining(t *testing.T) {
+	sys := simsym.Fig1()
+	lab, err := simsym.Similarity(sys, simsym.RuleQ)
+	if err != nil {
+		t.Fatal(err)
+	}
+	b := simsym.NewProgram()
+	b.Post("n", "init")
+	b.Peek("n", "x")
+	b.Halt()
+	prog, err := b.Build()
+	if err != nil {
+		t.Fatal(err)
+	}
+	ok, err := simsym.WitnessSimilarity(sys, simsym.InstrQ, prog, lab, 20)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !ok {
+		t.Error("similar processors should stay synced")
+	}
+	table, err := simsym.DiningFlipped(4)
+	if err != nil {
+		t.Fatal(err)
+	}
+	dprog, err := simsym.DiningProgram("left", "right", 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	rep, err := simsym.CheckDining(table, dprog, 100_000)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rep.Deadlocked != nil || rep.ExclusionViolated != nil {
+		t.Errorf("flipped table should be correct: %+v", rep)
+	}
+	stats, err := simsym.ItaiRodehSweep(1, 5, 8, 100, 20)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if stats.Successes != 20 {
+		t.Errorf("election successes = %d", stats.Successes)
+	}
+}
+
+func TestFacadeFamily(t *testing.T) {
+	base, err := simsym.Ring(4)
+	if err != nil {
+		t.Fatal(err)
+	}
+	a := base.Clone()
+	a.ProcInit[0] = "M"
+	b := base.Clone()
+	b.ProcInit[0] = "M"
+	b.ProcInit[1] = "M" // adjacent marks: no rotation survives
+	fam, err := simsym.HomogeneousFamily([]*simsym.System{a, b})
+	if err != nil {
+		t.Fatal(err)
+	}
+	d, err := simsym.DecideFamily(fam)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !d.Solvable {
+		t.Fatalf("family should be solvable: %s", d.Reason)
+	}
+	prog, _, err := simsym.BuildSelectFamily(fam)
+	if err != nil {
+		t.Fatal(err)
+	}
+	m, err := simsym.NewMachine(a, simsym.InstrQ, prog)
+	if err != nil {
+		t.Fatal(err)
+	}
+	rr, err := simsym.RoundRobin(4, 3000)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := m.Run(rr); err != nil {
+		t.Fatal(err)
+	}
+	if sel := m.SelectedProcs(); len(sel) != 1 {
+		t.Errorf("selected = %v", sel)
+	}
+}
