@@ -289,3 +289,24 @@ func Hash(v any) uint64 {
 	}
 	return h
 }
+
+// HashTokens returns a 64-bit FNV-1a hash of a uint64 token stream,
+// folding each token a byte at a time in little-endian order. It is the
+// token-stream companion of Hash: the interned-signature tables of the
+// partition package key their buckets on it and resolve collisions by
+// comparing the token sequences themselves, so hash quality affects only
+// speed, never correctness.
+func HashTokens(tokens []uint64) uint64 {
+	const (
+		offset64 = 14695981039346656037
+		prime64  = 1099511628211
+	)
+	var h uint64 = offset64
+	for _, t := range tokens {
+		for s := 0; s < 64; s += 8 {
+			h ^= (t >> s) & 0xff
+			h *= prime64
+		}
+	}
+	return h
+}

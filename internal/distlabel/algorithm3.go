@@ -26,9 +26,11 @@ import (
 // write — lets every processor learn its label in the family labeling.
 
 // CombineInit encodes a processor's phase-2 initial state: its real
-// initial state plus its phase-1 (structure-only) label.
+// initial state plus its phase-1 (structure-only) label. The real state
+// is length-prefixed so one containing '@' cannot shift the frame and
+// collide with a different (state, label) pair.
 func CombineInit(orig string, label1 int) string {
-	return fmt.Sprintf("%s@%d", orig, label1)
+	return fmt.Sprintf("%d@%s@%d", len(orig), orig, label1)
 }
 
 // Uniformize returns a copy of sys with all initial states erased —

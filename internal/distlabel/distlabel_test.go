@@ -374,3 +374,22 @@ func TestRelabelStateStringMatchesFamily(t *testing.T) {
 		t.Error("empty-case divergence")
 	}
 }
+
+// TestCombineInitInjective pins the length-prefixed phase-2 state
+// encoding: distinct (state, label) pairs must encode distinctly even
+// when the state contains '@' or digit runs that mimic the frame.
+func TestCombineInitInjective(t *testing.T) {
+	states := []string{"", "a", "a@1", "1@a", "@", "a@", "0", "1", "2@a@1"}
+	labels := []int{0, 1, 2, 10, 21}
+	seen := make(map[string][2]string)
+	for _, st := range states {
+		for _, l := range labels {
+			enc := CombineInit(st, l)
+			id := [2]string{st, fmt.Sprint(l)}
+			if prev, dup := seen[enc]; dup && prev != id {
+				t.Errorf("collision: %v and %v both encode to %q", prev, id, enc)
+			}
+			seen[enc] = id
+		}
+	}
+}

@@ -378,14 +378,13 @@ func emitRelabel(g *gen, names []system.Name) {
 
 // relabelStateString mirrors family.RelabelState (kept in sync by a
 // cross-package test) without importing the package, avoiding an import
-// cycle distlabel -> family -> distlabel in future layers.
+// cycle distlabel -> family -> distlabel in future layers. Like the
+// original it length-prefixes the pre-relabel state so separator bytes
+// in it cannot cause collisions.
 func relabelStateString(orig string, ranks []int) string {
-	out := orig + "|"
-	for i, r := range ranks {
-		if i > 0 {
-			out += ","
-		}
-		out += strconv.Itoa(r)
+	out := strconv.Itoa(len(orig)) + "|" + orig
+	for _, r := range ranks {
+		out += "," + strconv.Itoa(r)
 	}
 	return out
 }

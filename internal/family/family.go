@@ -164,12 +164,17 @@ type RelabelOptions struct {
 // RelabelState encodes a processor's post-relabel initial state: its
 // original initial state plus, for each name in order, the count it read
 // when it locked that neighbor (its rank among the variable's lockers).
+// The original state is length-prefixed so one containing the separator
+// bytes cannot shift the frame and collide with a different
+// (state, ranks) pair. Mirrored by distlabel's relabelStateString (kept
+// in sync by a cross-package test).
 func RelabelState(orig string, ranks []int) string {
-	parts := make([]string, len(ranks))
-	for i, r := range ranks {
-		parts[i] = fmt.Sprintf("%d", r)
+	var b strings.Builder
+	fmt.Fprintf(&b, "%d|%s", len(orig), orig)
+	for _, r := range ranks {
+		fmt.Fprintf(&b, ",%d", r)
 	}
-	return orig + "|" + strings.Join(parts, ",")
+	return b.String()
 }
 
 // RelabelOutcomes enumerates the set R: every assignment of lock orders

@@ -2,6 +2,7 @@ package family
 
 import (
 	"errors"
+	"fmt"
 	"math/rand"
 	"testing"
 
@@ -229,5 +230,24 @@ func TestRelabelStateEncoding(t *testing.T) {
 	}
 	if RelabelState("a", []int{1}) == RelabelState("b", []int{1}) {
 		t.Error("original init must matter")
+	}
+}
+
+// TestRelabelStateInjective pins the length-prefixed encoding: distinct
+// (orig, ranks) pairs must encode distinctly even when orig contains the
+// separator bytes '|' and ',' or digit runs that mimic rank suffixes.
+func TestRelabelStateInjective(t *testing.T) {
+	origs := []string{"", "a", "a|b", "1|a", "a,1", "0", "a,", ",", "2|a,1"}
+	rankss := [][]int{nil, {0}, {1}, {0, 1}, {1, 0}, {10}, {1, 0, 1}}
+	seen := make(map[string][2]string)
+	for _, orig := range origs {
+		for _, ranks := range rankss {
+			enc := RelabelState(orig, ranks)
+			id := [2]string{orig, fmt.Sprint(ranks)}
+			if prev, dup := seen[enc]; dup && prev != id {
+				t.Errorf("collision: %v and %v both encode to %q", prev, id, enc)
+			}
+			seen[enc] = id
+		}
 	}
 }

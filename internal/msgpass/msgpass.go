@@ -163,6 +163,29 @@ func (s *netStructure) Signature(i int, label func(int) int) string {
 	return b.String()
 }
 
+// AppendSignature implements partition.TokenStructure: the sorted
+// multiset (counting) or set (overwrite) of in-neighbor labels as raw
+// tokens, so refinement interns ints instead of formatting strings.
+func (s *netStructure) AppendSignature(buf []uint64, i int, label func(int) int) []uint64 {
+	start := len(buf)
+	for _, p := range s.in[i] {
+		buf = append(buf, uint64(int64(label(p))))
+	}
+	partition.SortTokens(buf[start:])
+	if s.counting {
+		return buf
+	}
+	out := start
+	for k := start; k < len(buf); k++ {
+		if k > start && buf[k] == buf[out-1] {
+			continue
+		}
+		buf[out] = buf[k]
+		out++
+	}
+	return buf[:out]
+}
+
 func (s *netStructure) Dependents(i int) []int { return s.net.Out[i] }
 
 // Similarity computes the similarity labeling of the network. With

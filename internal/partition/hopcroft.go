@@ -3,6 +3,7 @@ package partition
 import (
 	"fmt"
 	"sort"
+	"sync"
 )
 
 // TaggedEdge is a directed, integer-tagged edge: the color of From (the
@@ -118,24 +119,81 @@ func (s *segments) finishCarve(c int) int {
 // (untouched class remainders are never visited), and split-off parts
 // enter the queue while the largest part stays out, so every node is
 // processed O(log n) times per incident edge — O((n + m) log n) overall.
+//
+// Touched-member grouping interns sorted tag multisets through a
+// SigTable, so the hot loop compares small dense ints and reuses its
+// scratch arrays instead of formatting strings and allocating maps per
+// splitter.
 func FixpointHopcroft(cs CountStructure) (*Partition, error) {
+	return fixpointHopcroft(cs, 1)
+}
+
+// FixpointHopcroftParallel is FixpointHopcroft with the initial
+// signature pass — collecting every node's InitKey and OutEdges — fanned
+// out over `workers` goroutines on disjoint node ranges, merged
+// deterministically by node index. The refinement loop itself is
+// inherently sequential (each splitter's carves feed the next), so it is
+// unchanged. CountStructure methods must be safe for concurrent
+// read-only use.
+func FixpointHopcroftParallel(cs CountStructure, workers int) (*Partition, error) {
+	if workers < 1 {
+		workers = 1
+	}
+	return fixpointHopcroft(cs, workers)
+}
+
+func fixpointHopcroft(cs CountStructure, workers int) (*Partition, error) {
 	n := cs.Len()
 	if n == 0 {
 		return nil, ErrEmptyStructure
 	}
 	keys := make([]string, n)
-	for i := 0; i < n; i++ {
-		keys[i] = cs.InitKey(i)
+	outs := make([][]TaggedEdge, n)
+	collect := func(lo, hi int) {
+		for i := lo; i < hi; i++ {
+			keys[i] = cs.InitKey(i)
+			outs[i] = cs.OutEdges(i)
+		}
+	}
+	if workers > 1 {
+		var wg sync.WaitGroup
+		chunk := (n + workers - 1) / workers
+		for lo := 0; lo < n; lo += chunk {
+			hi := min(lo+chunk, n)
+			wg.Add(1)
+			go func(lo, hi int) {
+				defer wg.Done()
+				collect(lo, hi)
+			}(lo, hi)
+		}
+		wg.Wait()
+	} else {
+		collect(0, n)
 	}
 	seg := newSegments(keys)
 
 	// Reverse adjacency: rev[y] lists (x, tag) for each edge x --tag--> y.
-	rev := make([][]TaggedEdge, n)
+	// Counted first so the whole adjacency lives in one backing array.
+	deg := make([]int, n)
+	total := 0
 	for i := 0; i < n; i++ {
-		for _, e := range cs.OutEdges(i) {
+		for _, e := range outs[i] {
 			if e.To < 0 || e.To >= n {
 				return nil, fmt.Errorf("partition: edge target %d out of range", e.To)
 			}
+			deg[e.To]++
+			total++
+		}
+	}
+	backing := make([]TaggedEdge, total)
+	rev := make([][]TaggedEdge, n)
+	off := 0
+	for y := 0; y < n; y++ {
+		rev[y] = backing[off : off : off+deg[y]]
+		off += deg[y]
+	}
+	for i := 0; i < n; i++ {
+		for _, e := range outs[i] {
 			rev[e.To] = append(rev[e.To], TaggedEdge{To: i, Tag: e.Tag})
 		}
 	}
@@ -155,36 +213,50 @@ func FixpointHopcroft(cs CountStructure) (*Partition, error) {
 		enqueue(c)
 	}
 
+	// Reusable scratch, cleared after each splitter: nodeTags[x] holds
+	// the tags of x's edges into the current splitter, byClass[c] the
+	// touched members of class c, groups[id] the members whose interned
+	// tag multiset got dense id `id`.
+	var (
+		tab      SigTable
+		tokBuf   []uint64
+		touched  []int
+		classIDs []int
+		groups   [][]int
+	)
+	inTouched := make([]bool, n)
+	nodeTags := make([][]int, n)
+	byClass := make([][]int, len(seg.start), 2*n)
+
 	for head := 0; head < len(queue); head++ {
 		splitter := queue[head]
 		inQueue[splitter] = false
 
-		// Gather the nodes with edges into the splitter and their tag
-		// lists. A fresh map per splitter: Go maps never shrink, so a
-		// reused map that was once large would make every later clear
-		// and iteration pay for its historical size.
-		tagsInto := make(map[int][]int, 2*seg.length[splitter])
+		// Gather the nodes with edges into the splitter and their tags.
+		touched = touched[:0]
 		for i := seg.start[splitter]; i < seg.start[splitter]+seg.length[splitter]; i++ {
 			y := seg.order[i]
 			for _, e := range rev[y] {
-				tagsInto[e.To] = append(tagsInto[e.To], e.Tag)
+				if !inTouched[e.To] {
+					inTouched[e.To] = true
+					touched = append(touched, e.To)
+				}
+				nodeTags[e.To] = append(nodeTags[e.To], e.Tag)
 			}
 		}
-		if len(tagsInto) == 0 {
+		if len(touched) == 0 {
 			continue
 		}
 
 		// Group touched nodes by class, deterministically.
-		touched := make([]int, 0, len(tagsInto))
-		for x := range tagsInto {
-			touched = append(touched, x)
-		}
 		sort.Ints(touched)
-		byClass := make(map[int][]int)
-		classIDs := make([]int, 0, 8)
+		classIDs = classIDs[:0]
 		for _, x := range touched {
 			c := seg.classOf[x]
-			if _, ok := byClass[c]; !ok {
+			for c >= len(byClass) {
+				byClass = append(byClass, nil)
+			}
+			if len(byClass[c]) == 0 {
 				classIDs = append(classIDs, c)
 			}
 			byClass[c] = append(byClass[c], x)
@@ -196,33 +268,42 @@ func FixpointHopcroft(cs CountStructure) (*Partition, error) {
 				continue
 			}
 			xs := byClass[c]
-			// Group the touched members by tag-multiset signature.
-			groups := make(map[string][]int)
-			groupKeys := make([]string, 0, 4)
+			// Group the touched members by interned tag-multiset id; ids
+			// are dense per class in first-appearance order.
+			tab.Reset()
+			ngroups := 0
 			for _, x := range xs {
-				tags := append([]int(nil), tagsInto[x]...)
+				tags := nodeTags[x]
 				sort.Ints(tags)
-				key := fmt.Sprint(tags)
-				if _, ok := groups[key]; !ok {
-					groupKeys = append(groupKeys, key)
+				tokBuf = tokBuf[:0]
+				for _, t := range tags {
+					tokBuf = append(tokBuf, uint64(int64(t)))
 				}
-				groups[key] = append(groups[key], x)
+				id := tab.Intern(tokBuf)
+				if id == ngroups {
+					if ngroups < len(groups) {
+						groups[ngroups] = groups[ngroups][:0]
+					} else {
+						groups = append(groups, nil)
+					}
+					ngroups++
+				}
+				groups[id] = append(groups[id], x)
 			}
 			untouched := seg.length[c] - len(xs)
-			if untouched == 0 && len(groupKeys) == 1 {
+			if untouched == 0 && ngroups == 1 {
 				continue // whole class shares one signature: no split
 			}
-			sort.Strings(groupKeys)
 
 			// Determine the largest part (untouched remainder counts as
-			// a part); it keeps the old class id when it is the
+			// a part, id -1); it keeps the old class id when it is the
 			// remainder, and stays out of the queue when c wasn't in it.
-			largestKey := ""
+			largestID := -1
 			largestSize := untouched
-			for _, k := range groupKeys {
-				if len(groups[k]) > largestSize {
-					largestSize = len(groups[k])
-					largestKey = k
+			for id := 0; id < ngroups; id++ {
+				if len(groups[id]) > largestSize {
+					largestSize = len(groups[id])
+					largestID = id
 				}
 			}
 			wasQueued := inQueue[c]
@@ -230,18 +311,18 @@ func FixpointHopcroft(cs CountStructure) (*Partition, error) {
 			// Carve every touched group except, when the remainder is
 			// empty, the largest touched group (something must keep the
 			// old id and carving all members is illegal).
-			skipKey := ""
+			skipID := -1
 			if untouched == 0 {
-				skipKey = largestKey
-				if skipKey == "" {
-					skipKey = groupKeys[0]
+				skipID = largestID
+				if skipID < 0 {
+					skipID = 0
 				}
 			}
-			for _, k := range groupKeys {
-				if k == skipKey {
+			for id := 0; id < ngroups; id++ {
+				if id == skipID {
 					continue
 				}
-				for _, x := range groups[k] {
+				for _, x := range groups[id] {
 					seg.moveToFront(x)
 				}
 				nc := seg.finishCarve(c)
@@ -250,7 +331,7 @@ func FixpointHopcroft(cs CountStructure) (*Partition, error) {
 				}
 				// Queue policy: if c was pending, every part must be a
 				// splitter; otherwise all parts except the largest.
-				if wasQueued || k != largestKey {
+				if wasQueued || id != largestID {
 					enqueue(nc)
 				}
 			}
@@ -260,29 +341,37 @@ func FixpointHopcroft(cs CountStructure) (*Partition, error) {
 			// c now holds the remainder (or the skipped largest touched
 			// group). If that part is NOT the largest overall, it must
 			// be enqueued too.
-			remainderIsLargest := (skipKey == "" && largestKey == "") || (skipKey != "" && skipKey == largestKey)
+			remainderIsLargest := (skipID == -1 && largestID == -1) || (skipID != -1 && skipID == largestID)
 			if !remainderIsLargest {
 				enqueue(c)
 			}
+		}
+
+		for _, x := range touched {
+			inTouched[x] = false
+			nodeTags[x] = nodeTags[x][:0]
+		}
+		for _, c := range classIDs {
+			byClass[c] = byClass[c][:0]
 		}
 	}
 
 	// Convert segments into a Partition with deterministic ids.
 	p := &Partition{label: make([]int, n)}
-	remap := make(map[int]int)
-	members := make(map[int][]int)
-	for i := 0; i < n; i++ {
-		members[seg.classOf[i]] = append(members[seg.classOf[i]], i)
+	remap := make([]int, len(seg.start))
+	for c := range remap {
+		remap[c] = -1
 	}
 	for i := 0; i < n; i++ {
 		c := seg.classOf[i]
-		id, ok := remap[c]
-		if !ok {
+		id := remap[c]
+		if id < 0 {
 			id = len(p.members)
 			remap[c] = id
-			p.members = append(p.members, members[c])
+			p.members = append(p.members, nil)
 		}
 		p.label[i] = id
+		p.members[id] = append(p.members[id], i)
 	}
 	return p, nil
 }

@@ -21,6 +21,9 @@ import (
 	"errors"
 	"fmt"
 	"sort"
+	"strings"
+	"sync"
+	"sync/atomic"
 )
 
 // Structure describes a refinable structure: a set of nodes, an initial
@@ -40,6 +43,24 @@ type Structure interface {
 	// Dependents returns the nodes whose Signature may change when node
 	// i's label changes. It may contain duplicates and i itself.
 	Dependents(i int) []int
+}
+
+// TokenStructure extends Structure with an allocation-free signature
+// encoder. AppendSignature appends node i's environment under the
+// current labeling to buf as uint64 tokens and returns the extended
+// slice; two nodes of the same class must produce equal token sequences
+// iff their Signature strings are equal. FixpointWorklist interns the
+// token sequences through a SigTable and splits classes by comparing
+// small ints, skipping the string formatting of the oracle path
+// entirely; structures that do not implement TokenStructure fall back to
+// interning their Signature strings.
+//
+// Implementations must not retain buf and must be safe for concurrent
+// calls on distinct buffers (the parallel drivers fan the signature pass
+// out over a worker pool).
+type TokenStructure interface {
+	Structure
+	AppendSignature(buf []uint64, i int, label func(int) int) []uint64
 }
 
 // ErrEmptyStructure is returned when refining a structure with no nodes.
@@ -238,6 +259,105 @@ func (p *Partition) splitClass(c int, sig func(i int) string) []int {
 	return changed
 }
 
+// splitClassIDs regroups the members of class c by interned signature
+// id, keeping the group containing the smallest member under the old id
+// and allocating new ids for the rest in ascending signature-id order.
+// ids is aligned with p.members[c] and must be dense per class (the
+// per-class interners hand out 0,1,2,... in first-appearance order). It
+// returns the nodes whose label changed.
+func (p *Partition) splitClassIDs(c int, ids []int) []int {
+	members := p.members[c]
+	if len(members) <= 1 {
+		return nil
+	}
+	same := true
+	for _, id := range ids[1:] {
+		if id != ids[0] {
+			same = false
+			break
+		}
+	}
+	if same {
+		return nil
+	}
+	ngroups := 0
+	for _, id := range ids {
+		if id+1 > ngroups {
+			ngroups = id + 1
+		}
+	}
+	groups := make([][]int, ngroups)
+	for k, i := range members {
+		groups[ids[k]] = append(groups[ids[k]], i)
+	}
+	keep := ids[0]
+	minNode := members[0]
+	for k, i := range members {
+		if i < minNode {
+			minNode = i
+			keep = ids[k]
+		}
+	}
+	var changed []int
+	p.members[c] = groups[keep]
+	for id, g := range groups {
+		if id == keep || len(g) == 0 {
+			continue
+		}
+		nid := len(p.members)
+		p.members = append(p.members, g)
+		for _, i := range g {
+			p.label[i] = nid
+			changed = append(changed, i)
+		}
+	}
+	return changed
+}
+
+// sigEncoder turns per-node signatures into small interned ids, using
+// the token path when the structure supports it and interning the oracle
+// strings otherwise. Ids are dense per reset window in first-appearance
+// order; ids from different windows are not comparable.
+type sigEncoder struct {
+	s    Structure
+	ts   TokenStructure // nil when s is string-only
+	tab  SigTable
+	strs map[string]int
+	buf  []uint64
+}
+
+func newSigEncoder(s Structure) *sigEncoder {
+	e := &sigEncoder{s: s}
+	if ts, ok := s.(TokenStructure); ok {
+		e.ts = ts
+	}
+	return e
+}
+
+func (e *sigEncoder) reset() {
+	if e.ts != nil {
+		e.tab.Reset()
+		return
+	}
+	// A fresh small map each window: Go maps never shrink, so one that
+	// grew for a large class would tax every later window.
+	e.strs = make(map[string]int)
+}
+
+func (e *sigEncoder) sigID(i int, label func(int) int) int {
+	if e.ts != nil {
+		e.buf = e.ts.AppendSignature(e.buf[:0], i, label)
+		return e.tab.Intern(e.buf)
+	}
+	s := e.s.Signature(i, label)
+	id, ok := e.strs[s]
+	if !ok {
+		id = len(e.strs)
+		e.strs[s] = id
+	}
+	return id
+}
+
 // FixpointNaive refines the initial partition of s until stable,
 // recomputing every node's signature each round. It mirrors the paper's
 // Algorithm 1 exactly: "do nodes x and y have the same label but different
@@ -271,8 +391,28 @@ func FixpointNaive(s Structure) (*Partition, error) {
 // FixpointWorklist refines the initial partition of s until stable,
 // recomputing signatures only for nodes whose dependencies changed. This
 // is the efficient driver in the spirit of [H71]: work propagates only
-// from split classes to their dependents.
+// from split classes to their dependents. Signatures are interned to
+// small ints per class (see TokenStructure and SigTable), so splitting
+// never compares or sorts strings.
 func FixpointWorklist(s Structure) (*Partition, error) {
+	return fixpointWorklist(s, 1)
+}
+
+// FixpointWorklistParallel is FixpointWorklist with the per-round
+// signature pass fanned out over a pool of `workers` goroutines, one
+// dirty class at a time, each worker owning its own intern table and
+// token buffer. Per-class ids are independent of scheduling and the
+// split merge applies them sequentially in ascending class order, so the
+// result is deterministic and identical to FixpointWorklist. Structure
+// methods must be safe for concurrent read-only use.
+func FixpointWorklistParallel(s Structure, workers int) (*Partition, error) {
+	if workers < 1 {
+		workers = 1
+	}
+	return fixpointWorklist(s, workers)
+}
+
+func fixpointWorklist(s Structure, workers int) (*Partition, error) {
 	p, err := newPartition(s)
 	if err != nil {
 		return nil, err
@@ -287,36 +427,93 @@ func FixpointWorklist(s Structure) (*Partition, error) {
 		queue = append(queue, i)
 	}
 
+	enc := newSigEncoder(s)
+	var classSeen []bool
+	classes := make([]int, 0, 16)
+	work := make([]int, 0, 16)
+	var idsBuf []int
+	var offsBuf []int
+
 	for len(queue) > 0 {
 		// Gather the dirty classes this round.
-		classSet := make(map[int][]int)
+		classes = classes[:0]
 		for _, i := range queue {
-			if dirty[i] {
-				classSet[p.label[i]] = append(classSet[p.label[i]], i)
-				dirty[i] = false
+			if !dirty[i] {
+				continue
+			}
+			dirty[i] = false
+			c := p.label[i]
+			for c >= len(classSeen) {
+				classSeen = append(classSeen, false)
+			}
+			if !classSeen[c] {
+				classSeen[c] = true
+				classes = append(classes, c)
 			}
 		}
 		queue = queue[:0]
-
-		classes := make([]int, 0, len(classSet))
-		for c := range classSet {
-			classes = append(classes, c)
-		}
 		sort.Ints(classes)
-
-		var changed []int
+		work = work[:0]
 		for _, c := range classes {
-			if len(p.members[c]) <= 1 {
-				continue
+			classSeen[c] = false
+			// A split decision needs signatures for the whole class, so
+			// singleton classes can never split.
+			if len(p.members[c]) > 1 {
+				work = append(work, c)
 			}
-			// A split decision needs signatures for the whole class, not
-			// only the dirty members.
-			sigCache := make(map[int]string, len(p.members[c]))
-			for _, i := range p.members[c] {
-				sigCache[i] = s.Signature(i, lbl)
+		}
+
+		// Signature pass: every dirty class's signatures are computed
+		// against the round-start labeling (splits apply only in the
+		// merge below), so the parallel pass is label-for-label
+		// identical to the sequential one.
+		var changed []int
+		if workers > 1 && len(work) > 1 {
+			// Workers claim classes from a shared counter and fill
+			// disjoint result slots; the labels they read are not
+			// mutated until the merge.
+			idsByClass := make([][]int, len(work))
+			var next atomic.Int64
+			var wg sync.WaitGroup
+			for w := 0; w < min(workers, len(work)); w++ {
+				wg.Add(1)
+				go func() {
+					defer wg.Done()
+					we := newSigEncoder(s)
+					for {
+						k := int(next.Add(1)) - 1
+						if k >= len(work) {
+							return
+						}
+						we.reset()
+						ids := make([]int, 0, len(p.members[work[k]]))
+						for _, i := range p.members[work[k]] {
+							ids = append(ids, we.sigID(i, lbl))
+						}
+						idsByClass[k] = ids
+					}
+				}()
 			}
-			ch := p.splitClass(c, func(i int) string { return sigCache[i] })
-			changed = append(changed, ch...)
+			wg.Wait()
+			// Deterministic merge: splits apply in ascending class order.
+			for k, c := range work {
+				changed = append(changed, p.splitClassIDs(c, idsByClass[k])...)
+			}
+		} else {
+			idsBuf = idsBuf[:0]
+			offs := offsBuf[:0]
+			for _, c := range work {
+				enc.reset()
+				offs = append(offs, len(idsBuf))
+				for _, i := range p.members[c] {
+					idsBuf = append(idsBuf, enc.sigID(i, lbl))
+				}
+			}
+			offs = append(offs, len(idsBuf))
+			offsBuf = offs
+			for k, c := range work {
+				changed = append(changed, p.splitClassIDs(c, idsBuf[offs[k]:offs[k+1]])...)
+			}
 		}
 		for _, i := range changed {
 			for _, d := range s.Dependents(i) {
@@ -337,15 +534,15 @@ func FixpointWorklist(s Structure) (*Partition, error) {
 }
 
 // String renders the partition as sorted class lists, for debugging and
-// golden tests.
+// golden tests. It builds the output incrementally so rendering a
+// 65k-node partition stays linear.
 func (p *Partition) String() string {
-	classes := p.Classes()
-	out := ""
-	for c, m := range classes {
+	var b strings.Builder
+	for c, m := range p.Classes() {
 		if c > 0 {
-			out += " "
+			b.WriteByte(' ')
 		}
-		out += fmt.Sprintf("%v", m)
+		fmt.Fprintf(&b, "%v", m)
 	}
-	return out
+	return b.String()
 }
