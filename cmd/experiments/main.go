@@ -8,6 +8,7 @@
 //
 //	experiments            # run everything
 //	experiments -only E4   # run one experiment
+//	experiments -progress  # stream model-checker progress to stderr
 package main
 
 import (
@@ -17,6 +18,7 @@ import (
 	"os"
 
 	"simsym/internal/experiments"
+	"simsym/internal/mc"
 )
 
 // registry lists the experiments in order with their default parameters.
@@ -53,8 +55,15 @@ func main() {
 func run(args []string, out io.Writer) error {
 	fs := flag.NewFlagSet("experiments", flag.ContinueOnError)
 	only := fs.String("only", "", "run a single experiment (E1..E15)")
+	progress := fs.Bool("progress", false, "stream model-checker progress snapshots to stderr")
 	if err := fs.Parse(args); err != nil {
 		return err
+	}
+	if *progress {
+		experiments.MCProgress = func(s mc.Stats) {
+			fmt.Fprintf(os.Stderr, "\rmc: %d states, depth %d, %.0f states/s, %d dedup hits ",
+				s.StatesExplored, s.Depth, s.StatesPerSec, s.DedupHits)
+		}
 	}
 
 	printed := 0

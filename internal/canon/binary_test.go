@@ -1,0 +1,34 @@
+package canon
+
+import (
+	"bytes"
+	"testing"
+)
+
+func TestAppendLenPrefixedSelfDelimiting(t *testing.T) {
+	join := func(parts ...string) []byte {
+		var buf []byte
+		for _, p := range parts {
+			buf = AppendLenPrefixed(buf, p)
+		}
+		return buf
+	}
+	if bytes.Equal(join("ab", "c"), join("a", "bc")) {
+		t.Error("length prefixes should keep component boundaries distinct")
+	}
+	if bytes.Equal(join("", "x"), join("x", "")) {
+		t.Error("empty components must still delimit")
+	}
+	if !bytes.Equal(join("ab", "c"), join("ab", "c")) {
+		t.Error("encoding should be deterministic")
+	}
+}
+
+func TestHashBytesMatchesStringHash(t *testing.T) {
+	// HashBytes over the canonical string must agree with Hash, so the
+	// two fingerprint paths can interoperate.
+	v := map[string]any{"pc": 3, "halted": false}
+	if HashBytes([]byte(String(v))) != Hash(v) {
+		t.Error("HashBytes([]byte(String(v))) should equal Hash(v)")
+	}
+}

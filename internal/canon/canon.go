@@ -20,6 +20,7 @@
 package canon
 
 import (
+	"encoding/binary"
 	"fmt"
 	"reflect"
 	"sort"
@@ -210,16 +211,22 @@ func encodeReflect(b *strings.Builder, rv reflect.Value) {
 	case reflect.Map:
 		encodeMapReflect(b, rv)
 	case reflect.Struct:
+		// Tag with the package path so same-named struct types from
+		// different packages cannot collide.
 		b.WriteString("t:")
+		b.WriteString(rv.Type().PkgPath())
+		b.WriteByte('.')
 		b.WriteString(rv.Type().Name())
 		b.WriteByte('{')
+		emitted := 0
 		for i := 0; i < rv.NumField(); i++ {
 			if !rv.Type().Field(i).IsExported() {
 				continue
 			}
-			if i > 0 {
+			if emitted > 0 {
 				b.WriteByte(',')
 			}
+			emitted++
 			b.WriteString(rv.Type().Field(i).Name)
 			b.WriteByte('=')
 			encode(b, rv.Field(i).Interface())
@@ -285,6 +292,34 @@ func Hash(v any) uint64 {
 	var h uint64 = offset64
 	for i := 0; i < len(s); i++ {
 		h ^= uint64(s[i])
+		h *= prime64
+	}
+	return h
+}
+
+// AppendLenPrefixed appends a length-prefixed copy of s to buf and
+// returns the extended slice. The uvarint length prefix makes the
+// concatenation of several components self-delimiting, so distinct
+// component sequences can never alias — the binary companion of the
+// encodeString length prefix. It is the building block of the model
+// checker's compact state keys (machine.AppendStateKey).
+func AppendLenPrefixed(buf []byte, s string) []byte {
+	buf = binary.AppendUvarint(buf, uint64(len(s)))
+	return append(buf, s...)
+}
+
+// HashBytes returns the 64-bit FNV-1a hash of b. It is the byte-slice
+// companion of Hash/HashTokens: the model checker's visited index keys
+// its buckets on it and confirms hits by comparing the exact encodings,
+// so hash quality affects only speed, never correctness.
+func HashBytes(b []byte) uint64 {
+	const (
+		offset64 = 14695981039346656037
+		prime64  = 1099511628211
+	)
+	var h uint64 = offset64
+	for i := 0; i < len(b); i++ {
+		h ^= uint64(b[i])
 		h *= prime64
 	}
 	return h

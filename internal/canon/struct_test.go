@@ -1,0 +1,71 @@
+package canon
+
+import (
+	"strings"
+	"testing"
+
+	"simsym/internal/system"
+)
+
+// Permutation is a deliberate name twin of system.Permutation with the
+// same exported field names: before struct tags carried the package
+// path, the two types encoded identically.
+type Permutation struct {
+	ProcPerm []int
+	VarPerm  []int
+}
+
+func TestStructUnexportedFirstHasNoLeadingSeparator(t *testing.T) {
+	type unexportedFirst struct {
+		hidden int
+		X      int
+	}
+	type twoHiddenFirst struct {
+		a, b int
+		X    int
+	}
+	_ = unexportedFirst{hidden: 1}.hidden
+	_ = twoHiddenFirst{a: 1, b: 2}
+	got := String(unexportedFirst{hidden: 9, X: 1})
+	if strings.Contains(got, "{,") {
+		t.Errorf("leading separator before first emitted field: %q", got)
+	}
+	if !strings.Contains(got, "{X=i:1}") {
+		t.Errorf("first emitted field should follow the brace directly: %q", got)
+	}
+	got2 := String(twoHiddenFirst{X: 1})
+	if strings.Contains(got2, "{,") {
+		t.Errorf("leading separator with several unexported fields: %q", got2)
+	}
+	// The skipped-field shape must not alias an exported-only struct with
+	// a different field set either.
+	type onlyX struct{ X int }
+	if String(unexportedFirst{X: 1}) == String(onlyX{X: 1}) {
+		t.Error("distinct struct types with identical exported fields in the same package should still differ by name")
+	}
+}
+
+func TestStructSeparatorsBetweenEmittedFields(t *testing.T) {
+	type mixed struct {
+		a int
+		X int
+		b int
+		Y int
+	}
+	_ = mixed{a: 1, b: 2}
+	got := String(mixed{X: 1, Y: 2})
+	if !strings.Contains(got, "X=i:1,Y=i:2") {
+		t.Errorf("emitted fields should be comma separated exactly once: %q", got)
+	}
+}
+
+func TestCrossPackageNameTwinsDoNotCollide(t *testing.T) {
+	local := Permutation{ProcPerm: []int{0, 1}, VarPerm: []int{1, 0}}
+	remote := system.Permutation{ProcPerm: []int{0, 1}, VarPerm: []int{1, 0}}
+	if String(local) == String(remote) {
+		t.Fatalf("same-named structs from different packages collide: %q", String(local))
+	}
+	if !strings.Contains(String(remote), "simsym/internal/system.Permutation") {
+		t.Errorf("struct tag should carry the package path: %q", String(remote))
+	}
+}

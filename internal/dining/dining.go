@@ -123,6 +123,9 @@ type Report struct {
 	// Deadlocked holds a schedule reaching an inescapable stuck
 	// component, if any.
 	Deadlocked []int
+	// Stats carries the checker's counters (dedup hits, symmetry
+	// quotient, throughput) for reporting.
+	Stats mc.Stats
 }
 
 // Check model-checks the program on the table: exclusion as a state
@@ -131,24 +134,29 @@ type Report struct {
 // whatever was (not) found within the bound — bounded verification
 // rather than an error, since large tables cannot close.
 func Check(sys *system.System, prog *machine.Program, maxStates int) (*Report, error) {
+	return CheckWith(sys, prog, mc.Options{MaxStates: maxStates})
+}
+
+// CheckWith is Check with full control over the engine: symmetry
+// reduction, parallel expansion, budgets, and progress reporting. The
+// exclusion and deadlock predicates are installed on top of opts.
+func CheckWith(sys *system.System, prog *machine.Program, opts mc.Options) (*Report, error) {
 	exclusion, err := ExclusionPred(sys)
 	if err != nil {
 		return nil, err
 	}
+	opts.StatePreds = append(opts.StatePreds, exclusion)
+	opts.StuckBad = mc.NotAllHalted
 	res, err := mc.Check(func() (*machine.Machine, error) {
 		return machine.New(sys, system.InstrL, prog)
-	}, mc.Options{
-		MaxStates:  maxStates,
-		StatePreds: []mc.StatePredicate{exclusion},
-		StuckBad:   mc.NotAllHalted,
-	})
+	}, opts)
 	if errors.Is(err, mc.ErrBudget) {
-		return &Report{StatesExplored: res.StatesExplored, Complete: false}, nil
+		return &Report{StatesExplored: res.StatesExplored, Complete: false, Stats: res.Stats}, nil
 	}
 	if err != nil {
 		return nil, fmt.Errorf("dining: %w", err)
 	}
-	rep := &Report{StatesExplored: res.StatesExplored, Complete: res.Complete}
+	rep := &Report{StatesExplored: res.StatesExplored, Complete: res.Complete, Stats: res.Stats}
 	if res.Violation != nil {
 		if res.Violation.Reason[:5] == "stuck" {
 			rep.Deadlocked = res.Violation.Schedule
@@ -261,7 +269,7 @@ func CheckGreedy(sys *system.System, maxStates int) (*Report, error) {
 	if err != nil {
 		return nil, fmt.Errorf("dining: %w", err)
 	}
-	rep := &Report{StatesExplored: res.StatesExplored, Complete: res.Complete}
+	rep := &Report{StatesExplored: res.StatesExplored, Complete: res.Complete, Stats: res.Stats}
 	if res.Violation != nil {
 		rep.ExclusionViolated = res.Violation.Schedule
 	}

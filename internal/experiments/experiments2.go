@@ -9,6 +9,7 @@ import (
 	"simsym/internal/dining"
 	"simsym/internal/distlabel"
 	"simsym/internal/machine"
+	"simsym/internal/mc"
 	"simsym/internal/sched"
 	"simsym/internal/system"
 )
@@ -82,6 +83,26 @@ func E13Encapsulated() (*Table, error) {
 	}
 	t.AddRow(fmt.Sprintf("all %d philosophers ate %d meals", n, meals),
 		fmt.Sprintf("%s (after %d fair rounds)", yesNo(done()), rounds))
+
+	// Bounded model check of the same protocol: no exclusion violation
+	// and no deadlock anywhere in the explored prefix of the schedule
+	// tree — safety evidence beyond the single fair execution above.
+	mcProg, err := dining.ChandyMisraProgram(1)
+	if err != nil {
+		return nil, err
+	}
+	rep, err := dining.CheckWith(s, mcProg, mc.Options{
+		MaxStates: 10_000,
+		Partial:   true,
+		Progress:  MCProgress,
+	})
+	if err != nil {
+		return nil, err
+	}
+	t.AddRow("bounded model check (1 meal): exclusion violated / deadlock found",
+		fmt.Sprintf("%s / %s (%d states, complete=%v)",
+			yesNo(rep.ExclusionViolated != nil), yesNo(rep.Deadlocked != nil),
+			rep.StatesExplored, rep.Complete))
 	t.Note("the program is uniform and processors anonymous; the asymmetry lives entirely in the dirty-fork orientation of the initial state, as [CM84] prescribes")
 	return t, nil
 }

@@ -1,0 +1,101 @@
+package machine
+
+import (
+	"errors"
+	"testing"
+
+	"simsym/internal/system"
+)
+
+// failedStepLeavesMachineUnchanged runs one Step expecting wantErr and
+// asserts the machine observably did not move: step counter, whole-state
+// fingerprint, and halt flags are all unchanged.
+func failedStepLeavesMachineUnchanged(t *testing.T, m *Machine, p int, wantErr error) {
+	t.Helper()
+	steps0 := m.Steps()
+	fp0 := m.Fingerprint()
+	err := m.Step(p)
+	if !errors.Is(err, wantErr) {
+		t.Fatalf("Step err = %v, want %v", err, wantErr)
+	}
+	if got := m.Steps(); got != steps0 {
+		t.Errorf("failed step advanced Steps(): %d -> %d", steps0, got)
+	}
+	if got := m.Fingerprint(); got != fp0 {
+		t.Errorf("failed step changed the state fingerprint:\nbefore %q\nafter  %q", fp0, got)
+	}
+}
+
+func TestStepInstrNotAllowedLeavesMachineUnchanged(t *testing.T) {
+	b := NewBuilder()
+	b.Lock("n", "got") // Lock is illegal under S
+	b.Halt()
+	prog, err := b.Build()
+	if err != nil {
+		t.Fatal(err)
+	}
+	m, err := New(system.Fig1(), system.InstrS, prog)
+	if err != nil {
+		t.Fatal(err)
+	}
+	failedStepLeavesMachineUnchanged(t, m, 0, ErrInstrNotAllowed)
+	// The machine is still runnable for the other processor.
+	failedStepLeavesMachineUnchanged(t, m, 1, ErrInstrNotAllowed)
+}
+
+func TestStepMissingLocalLeavesMachineUnchanged(t *testing.T) {
+	b := NewBuilder()
+	b.Write("n", "never-set")
+	b.Halt()
+	prog, err := b.Build()
+	if err != nil {
+		t.Fatal(err)
+	}
+	m, err := New(system.Fig1(), system.InstrS, prog)
+	if err != nil {
+		t.Fatal(err)
+	}
+	failedStepLeavesMachineUnchanged(t, m, 0, ErrMissingLocal)
+}
+
+func TestStepMissingLocalAfterProgressKeepsEarlierState(t *testing.T) {
+	// Fail mid-program: earlier successful steps must be preserved
+	// exactly while the failing one is rolled up into a no-op.
+	b := NewBuilder()
+	b.Compute(func(loc Locals) { loc["x"] = "seen" })
+	b.Write("n", "missing")
+	b.Halt()
+	prog, err := b.Build()
+	if err != nil {
+		t.Fatal(err)
+	}
+	m, err := New(system.Fig1(), system.InstrS, prog)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := m.Step(0); err != nil {
+		t.Fatal(err)
+	}
+	if m.Steps() != 1 {
+		t.Fatalf("Steps() = %d, want 1", m.Steps())
+	}
+	failedStepLeavesMachineUnchanged(t, m, 0, ErrMissingLocal)
+	if v, ok := m.Local(0, "x"); !ok || v != "seen" {
+		t.Errorf("earlier local lost: %v %v", v, ok)
+	}
+}
+
+func TestStepBadProcessorLeavesMachineUnchanged(t *testing.T) {
+	b := NewBuilder()
+	b.Halt()
+	prog, err := b.Build()
+	if err != nil {
+		t.Fatal(err)
+	}
+	m, err := New(system.Fig1(), system.InstrS, prog)
+	if err != nil {
+		t.Fatal(err)
+	}
+	failedStepLeavesMachineUnchanged(t, m, 7, ErrBadProcessor)
+	failedStepLeavesMachineUnchanged(t, m, -1, ErrBadProcessor)
+}

@@ -1,6 +1,7 @@
 package machine
 
 import (
+	"encoding/binary"
 	"errors"
 	"fmt"
 	"sort"
@@ -129,14 +130,19 @@ func (m *Machine) allowed(in Instr) bool {
 // Step executes one atomic instruction of processor p (a schedule step).
 // Stepping a halted processor is a legal no-op, matching the paper's
 // schedules which may name any processor at any time.
+//
+// Step is atomic on failure: every input (neighbor resolution, local
+// lookups, instruction-set membership) is validated before the first
+// mutation, so a Step that returns an error leaves the step counter, the
+// fingerprint caches, and the machine state exactly as they were.
 func (m *Machine) Step(p int) error {
 	if p < 0 || p >= len(m.frames) {
 		return fmt.Errorf("%w: %d", ErrBadProcessor, p)
 	}
-	m.steps++
-	m.procFP[p] = ""
 	fr := &m.frames[p]
 	if fr.Halted || fr.PC >= m.program.Len() {
+		m.steps++
+		m.procFP[p] = ""
 		fr.Halted = true
 		return nil
 	}
@@ -144,12 +150,19 @@ func (m *Machine) Step(p int) error {
 	if !m.allowed(in) {
 		return fmt.Errorf("%w: %T under %v", ErrInstrNotAllowed, in, m.instr)
 	}
+	// commit marks the step as happening; each case below calls it only
+	// after all of its fallible lookups have succeeded.
+	commit := func() {
+		m.steps++
+		m.procFP[p] = ""
+	}
 	switch x := in.(type) {
 	case Read:
 		v, err := m.sys.NNbr(p, x.Name)
 		if err != nil {
 			return err
 		}
+		commit()
 		fr.Locals = fr.Locals.Clone()
 		fr.Locals[x.Dst] = m.varVal[v]
 		fr.PC++
@@ -162,6 +175,7 @@ func (m *Machine) Step(p int) error {
 		if !ok {
 			return fmt.Errorf("%w: %q", ErrMissingLocal, x.Src)
 		}
+		commit()
 		m.varVal[v] = val
 		m.varFP[v] = ""
 		fr.PC++
@@ -170,6 +184,7 @@ func (m *Machine) Step(p int) error {
 		if err != nil {
 			return err
 		}
+		commit()
 		fr.Locals = fr.Locals.Clone()
 		if m.locked[v] {
 			fr.Locals[x.Dst] = false
@@ -184,6 +199,7 @@ func (m *Machine) Step(p int) error {
 		if err != nil {
 			return err
 		}
+		commit()
 		m.locked[v] = false
 		m.varFP[v] = ""
 		fr.PC++
@@ -192,6 +208,7 @@ func (m *Machine) Step(p int) error {
 		if err != nil {
 			return err
 		}
+		commit()
 		fr.Locals = fr.Locals.Clone()
 		fr.Locals[x.Dst] = m.peekValue(v)
 		fr.PC++
@@ -204,6 +221,7 @@ func (m *Machine) Step(p int) error {
 		if !ok {
 			return fmt.Errorf("%w: %q", ErrMissingLocal, x.Src)
 		}
+		commit()
 		// Copy-on-write so snapshots are not aliased.
 		nv := make(qVar, len(m.varSub[v])+1)
 		for k, s := range m.varSub[v] {
@@ -214,18 +232,22 @@ func (m *Machine) Step(p int) error {
 		m.varFP[v] = ""
 		fr.PC++
 	case Compute:
+		commit()
 		fr.Locals = fr.Locals.Clone()
 		x.F(fr.Locals)
 		fr.PC++
 	case JumpIf:
+		commit()
 		if x.Cond(fr.Locals) {
 			fr.PC = m.program.targets[x.Target]
 		} else {
 			fr.PC++
 		}
 	case Jump:
+		commit()
 		fr.PC = m.program.targets[x.Target]
 	case Halt:
+		commit()
 		fr.Halted = true
 	default:
 		return fmt.Errorf("machine: unknown instruction %T", in)
@@ -263,23 +285,68 @@ func (m *Machine) Run(schedule []int) (int, error) {
 	return done, nil
 }
 
-// ProcFingerprint returns the canonical encoding of processor p's state
+// ProcFingerprint returns a canonical encoding of processor p's state
 // (program counter + locals). Two processors "have the same state" in the
-// paper's sense exactly when their fingerprints are equal.
+// paper's sense exactly when their fingerprints are equal. The encoding
+// is hand-rolled rather than routed through canon.String: it is the
+// model checker's per-child hot path, and the common local values
+// (bools, ints, strings) encode with a tag byte and a length prefix
+// instead of a reflective map walk. Injectivity survives because every
+// component is self-delimiting and local names are emitted in sorted
+// order.
 func (m *Machine) ProcFingerprint(p int) string {
 	if m.procFP[p] == "" {
 		fr := m.frames[p]
-		m.procFP[p] = canon.String(map[string]any{
-			"pc":     fr.PC,
-			"halted": fr.Halted,
-			"locals": localsForCanon(fr.Locals),
-		})
+		buf := make([]byte, 0, 48)
+		buf = binary.AppendVarint(buf, int64(fr.PC))
+		if fr.Halted {
+			buf = append(buf, 1)
+		} else {
+			buf = append(buf, 0)
+		}
+		buf = binary.AppendUvarint(buf, uint64(len(fr.Locals)))
+		names := make([]string, 0, len(fr.Locals))
+		for k := range fr.Locals {
+			names = append(names, k)
+		}
+		sort.Strings(names)
+		for _, k := range names {
+			buf = canon.AppendLenPrefixed(buf, k)
+			buf = appendLocalValue(buf, fr.Locals[k])
+		}
+		m.procFP[p] = string(buf)
 	}
 	return m.procFP[p]
 }
 
-// VarFingerprint returns the canonical encoding of variable v's state.
-// Q subvalues are encoded as an unordered multiset.
+// appendLocalValue appends a tagged self-delimiting encoding of a local
+// value. Scalars get direct fast paths; anything else (PeekResult,
+// slices) falls back to the canonical string, length-prefixed under its
+// own tag so the two regimes cannot alias.
+func appendLocalValue(buf []byte, v any) []byte {
+	switch x := v.(type) {
+	case nil:
+		return append(buf, 'n')
+	case bool:
+		if x {
+			return append(buf, 'b', 1)
+		}
+		return append(buf, 'b', 0)
+	case int:
+		buf = append(buf, 'i')
+		return binary.AppendVarint(buf, int64(x))
+	case string:
+		buf = append(buf, 's')
+		return canon.AppendLenPrefixed(buf, x)
+	default:
+		buf = append(buf, 'c')
+		return canon.AppendLenPrefixed(buf, canon.String(valueForCanon(v)))
+	}
+}
+
+// VarFingerprint returns a canonical encoding of variable v's state.
+// Q subvalues are encoded as an unordered multiset. The leading tag byte
+// separates the Q and S/L regimes.
 func (m *Machine) VarFingerprint(v int) string {
 	if m.varFP[v] != "" {
 		return m.varFP[v]
@@ -289,12 +356,17 @@ func (m *Machine) VarFingerprint(v int) string {
 		for _, s := range m.varSub[v] {
 			ms = append(ms, s)
 		}
-		m.varFP[v] = canon.String(map[string]any{"init": m.sys.VarInit[v], "sub": ms})
+		m.varFP[v] = "q" + canon.String(map[string]any{"init": m.sys.VarInit[v], "sub": ms})
 	} else {
-		m.varFP[v] = canon.String(map[string]any{
-			"val":    m.varVal[v],
-			"locked": m.locked[v],
-		})
+		buf := make([]byte, 0, 24)
+		buf = append(buf, 'v')
+		if m.locked[v] {
+			buf = append(buf, 1)
+		} else {
+			buf = append(buf, 0)
+		}
+		buf = appendLocalValue(buf, m.varVal[v])
+		m.varFP[v] = string(buf)
 	}
 	return m.varFP[v]
 }
@@ -312,6 +384,37 @@ func (m *Machine) Fingerprint() string {
 		vars[v] = m.VarFingerprint(v)
 	}
 	return canon.String([]any{procs, vars})
+}
+
+// AppendStateKey appends a compact binary encoding of the whole machine
+// state to buf and returns the extended slice. The key concatenates the
+// length-prefixed per-processor and per-variable canonical fingerprints,
+// so two machines over the same system have equal keys iff their
+// Fingerprint strings are equal — without materializing a new string per
+// state. This is the model checker's visited-set key: callers reuse buf
+// across states and the per-component fingerprints stay cached.
+//
+// When procAt/varAt are non-nil they relabel the key's node positions:
+// position i of the key takes processor procAt[i]'s (variable varAt[i]'s)
+// component. Passing an automorphism's permutation yields the key of the
+// symmetric image state, which is how symmetry reduction computes orbit
+// representatives without building permuted machines.
+func (m *Machine) AppendStateKey(buf []byte, procAt, varAt []int) []byte {
+	for i := range m.frames {
+		p := i
+		if procAt != nil {
+			p = procAt[i]
+		}
+		buf = canon.AppendLenPrefixed(buf, m.ProcFingerprint(p))
+	}
+	for i := range m.varVal {
+		v := i
+		if varAt != nil {
+			v = varAt[i]
+		}
+		buf = canon.AppendLenPrefixed(buf, m.VarFingerprint(v))
+	}
+	return buf
 }
 
 // localsForCanon converts Locals to a plain map for canonical encoding,

@@ -1,15 +1,15 @@
 package mc
 
 import (
+	"runtime"
 	"testing"
 
 	"simsym/internal/machine"
 	"simsym/internal/system"
 )
 
-// BenchmarkCheckThroughput measures model-checker state throughput on
-// the Figure 5 four-philosopher table (a closed ~42k-state space).
-func BenchmarkCheckThroughput(b *testing.B) {
+func throughputSetup(b *testing.B) (*system.System, *machine.Program) {
+	b.Helper()
 	s, err := system.DiningFlipped(4)
 	if err != nil {
 		b.Fatal(err)
@@ -28,11 +28,19 @@ func BenchmarkCheckThroughput(b *testing.B) {
 	if err != nil {
 		b.Fatal(err)
 	}
+	return s, prog
+}
+
+func runThroughput(b *testing.B, opts Options) {
+	b.Helper()
+	s, prog := throughputSetup(b)
+	opts.MaxStates = 500_000
+	opts.StuckBad = NotAllHalted
 	b.ReportAllocs()
 	for i := 0; i < b.N; i++ {
 		res, err := Check(func() (*machine.Machine, error) {
 			return machine.New(s, system.InstrL, prog)
-		}, Options{MaxStates: 500_000, StuckBad: NotAllHalted})
+		}, opts)
 		if err != nil {
 			b.Fatal(err)
 		}
@@ -41,4 +49,18 @@ func BenchmarkCheckThroughput(b *testing.B) {
 		}
 		b.ReportMetric(float64(res.StatesExplored), "states/op")
 	}
+}
+
+// BenchmarkCheckThroughput measures model-checker state throughput on
+// the Figure 5 four-philosopher table (a closed ~42k-state space) in
+// each engine mode: plain BFS, symmetry-reduced BFS (orbit quotient),
+// parallel frontier expansion, and both combined.
+func BenchmarkCheckThroughput(b *testing.B) {
+	workers := runtime.GOMAXPROCS(0)
+	b.Run("seq", func(b *testing.B) { runThroughput(b, Options{}) })
+	b.Run("sym", func(b *testing.B) { runThroughput(b, Options{SymmetryReduce: true}) })
+	b.Run("par", func(b *testing.B) { runThroughput(b, Options{Workers: workers}) })
+	b.Run("sym+par", func(b *testing.B) {
+		runThroughput(b, Options{SymmetryReduce: true, Workers: workers})
+	})
 }

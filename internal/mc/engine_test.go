@@ -1,0 +1,316 @@
+package mc
+
+import (
+	"errors"
+	"strings"
+	"testing"
+
+	"simsym/internal/machine"
+	"simsym/internal/system"
+)
+
+// spinForever is an unbounded-state program: a strictly growing counter.
+func spinForever(b *machine.Builder) {
+	b.Compute(func(loc machine.Locals) { loc["n"] = 0 })
+	b.Label("loop")
+	b.Compute(func(loc machine.Locals) { loc["n"] = loc["n"].(int) + 1 })
+	b.Jump("loop")
+}
+
+// TestBudgetExploresExactlyMaxStates pins the off-by-one fix: the old
+// checker pushed first and tested after, exploring MaxStates+1 states.
+func TestBudgetExploresExactlyMaxStates(t *testing.T) {
+	res, err := Check(factoryFor(t, system.Fig1(), system.InstrS, spinForever), Options{MaxStates: 100})
+	if !errors.Is(err, ErrBudget) {
+		t.Fatalf("err = %v, want ErrBudget", err)
+	}
+	if res == nil {
+		t.Fatal("ErrBudget must return the partial Result, not nil")
+	}
+	if res.StatesExplored != 100 {
+		t.Errorf("StatesExplored = %d, want exactly 100", res.StatesExplored)
+	}
+	if res.Complete {
+		t.Error("budget-exhausted result must not be Complete")
+	}
+	if res.Exhausted != "states" {
+		t.Errorf("Exhausted = %q, want \"states\"", res.Exhausted)
+	}
+}
+
+func TestPartialBudgetReturnsGracefulResult(t *testing.T) {
+	res, err := Check(factoryFor(t, system.Fig1(), system.InstrS, spinForever), Options{
+		MaxStates: 50,
+		Partial:   true,
+	})
+	if err != nil {
+		t.Fatalf("Partial budget exhaustion should not error: %v", err)
+	}
+	if res.StatesExplored != 50 || res.Complete || res.Exhausted != "states" {
+		t.Errorf("partial result = %+v", res)
+	}
+}
+
+func TestTimeBudgetDegrades(t *testing.T) {
+	res, err := Check(factoryFor(t, system.Fig1(), system.InstrS, spinForever), Options{
+		MaxDuration: 1, // one nanosecond: exhausted at the first poll
+		Partial:     true,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Exhausted != "time" || res.Complete {
+		t.Errorf("result = %+v, want time exhaustion", res)
+	}
+}
+
+func TestMemoryBudgetDegrades(t *testing.T) {
+	res, err := Check(factoryFor(t, system.Fig1(), system.InstrS, spinForever), Options{
+		MaxMemBytes: 1,
+		Partial:     true,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Exhausted != "memory" || res.Complete {
+		t.Errorf("result = %+v, want memory exhaustion", res)
+	}
+	if res.Stats.PeakMemBytes <= 0 {
+		t.Error("memory estimate should be populated")
+	}
+}
+
+// TestTransPredsSeeSelfLoops pins the self-loop ordering fix: stepping a
+// halted processor is a stutter step; transition predicates must observe
+// it even though it is excluded from the successor graph.
+func TestTransPredsSeeSelfLoops(t *testing.T) {
+	res, err := Check(factoryFor(t, system.Fig1(), system.InstrS, func(b *machine.Builder) {
+		b.Halt()
+	}), Options{
+		TransPreds: []TransitionPredicate{func(before, after *machine.Machine, proc int) string {
+			if before.Fingerprint() == after.Fingerprint() {
+				return "stutter step observed"
+			}
+			return ""
+		}},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Violation == nil || !strings.Contains(res.Violation.Reason, "stutter") {
+		t.Fatalf("transition predicates must see stutter steps, got %+v", res.Violation)
+	}
+}
+
+// TestTransPredCountsEveryScheduledStep: with a non-violating counting
+// predicate, every (state, processor) pair of the closed space is
+// examined exactly once — stutters included.
+func TestTransPredCountsEveryScheduledStep(t *testing.T) {
+	calls := 0
+	res, err := Check(factoryFor(t, system.Fig1(), system.InstrS, func(b *machine.Builder) {
+		b.Halt()
+	}), Options{
+		TransPreds: []TransitionPredicate{func(before, after *machine.Machine, proc int) string {
+			calls++
+			return ""
+		}},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !res.Complete {
+		t.Fatal("space should close")
+	}
+	nProcs := 2
+	if want := res.StatesExplored * nProcs; calls != want {
+		t.Errorf("predicate calls = %d, want states*procs = %d", calls, want)
+	}
+	if res.Stats.SelfLoops == 0 {
+		t.Error("halt-program space must contain stutter steps")
+	}
+	if int(res.Stats.Transitions+res.Stats.SelfLoops) != calls {
+		t.Errorf("Transitions(%d)+SelfLoops(%d) should equal scheduled steps (%d)",
+			res.Stats.Transitions, res.Stats.SelfLoops, calls)
+	}
+}
+
+func TestStatsPopulated(t *testing.T) {
+	res, err := Check(factoryFor(t, system.Fig1(), system.InstrL, lockClaim), Options{
+		StatePreds: []StatePredicate{UniquenessPred},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	st := res.Stats
+	if st.StatesExplored != res.StatesExplored {
+		t.Errorf("stats/result state counts differ: %d vs %d", st.StatesExplored, res.StatesExplored)
+	}
+	if st.Depth == 0 || st.PeakFrontier == 0 || st.Transitions == 0 {
+		t.Errorf("stats should be populated: %+v", st)
+	}
+	if st.GroupOrder != 1 {
+		t.Errorf("GroupOrder = %d without symmetry reduction, want 1", st.GroupOrder)
+	}
+	if st.Elapsed <= 0 {
+		t.Error("Elapsed should be positive")
+	}
+}
+
+func TestProgressCallback(t *testing.T) {
+	var snaps []Stats
+	res, err := Check(factoryFor(t, system.Fig1(), system.InstrS, naiveClaim), Options{
+		ProgressEvery: 1,
+		Progress:      func(s Stats) { snaps = append(snaps, s) },
+		StuckBad:      NotAllHalted,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(snaps) < 2 {
+		t.Fatalf("expected several progress snapshots, got %d", len(snaps))
+	}
+	last := snaps[len(snaps)-1]
+	if last.StatesExplored != res.StatesExplored {
+		t.Errorf("final snapshot states = %d, want %d", last.StatesExplored, res.StatesExplored)
+	}
+	for i := 1; i < len(snaps); i++ {
+		if snaps[i].StatesExplored < snaps[i-1].StatesExplored {
+			t.Error("snapshots should be monotone in states explored")
+		}
+	}
+}
+
+// checkModes runs the same check in all four engine modes and returns
+// the results keyed by mode name.
+func checkModes(t *testing.T, factory func() (*machine.Machine, error), opts Options) map[string]*Result {
+	t.Helper()
+	out := make(map[string]*Result)
+	for _, mode := range []struct {
+		name    string
+		sym     bool
+		workers int
+	}{
+		{"seq", false, 0},
+		{"par", false, 4},
+		{"sym", true, 0},
+		{"sym+par", true, 4},
+	} {
+		o := opts
+		o.SymmetryReduce = mode.sym
+		o.Workers = mode.workers
+		res, err := Check(factory, o)
+		if err != nil {
+			t.Fatalf("%s: %v", mode.name, err)
+		}
+		out[mode.name] = res
+	}
+	return out
+}
+
+// assertIdentical enforces the parallel engine's label-for-label
+// guarantee against its sequential twin.
+func assertIdentical(t *testing.T, a, b *Result, what string) {
+	t.Helper()
+	if (a.Violation == nil) != (b.Violation == nil) {
+		t.Fatalf("%s: verdicts differ: %+v vs %+v", what, a.Violation, b.Violation)
+	}
+	if a.Violation != nil {
+		if a.Violation.Reason != b.Violation.Reason {
+			t.Errorf("%s: reasons differ: %q vs %q", what, a.Violation.Reason, b.Violation.Reason)
+		}
+		if len(a.Violation.Schedule) != len(b.Violation.Schedule) {
+			t.Fatalf("%s: schedules differ: %v vs %v", what, a.Violation.Schedule, b.Violation.Schedule)
+		}
+		for i := range a.Violation.Schedule {
+			if a.Violation.Schedule[i] != b.Violation.Schedule[i] {
+				t.Fatalf("%s: schedules differ: %v vs %v", what, a.Violation.Schedule, b.Violation.Schedule)
+			}
+		}
+	}
+	if a.StatesExplored != b.StatesExplored || a.Complete != b.Complete {
+		t.Errorf("%s: exploration differs: %d/%v vs %d/%v", what,
+			a.StatesExplored, a.Complete, b.StatesExplored, b.Complete)
+	}
+	if a.Stats.Transitions != b.Stats.Transitions ||
+		a.Stats.DedupHits != b.Stats.DedupHits ||
+		a.Stats.SelfLoops != b.Stats.SelfLoops ||
+		a.Stats.Depth != b.Stats.Depth ||
+		a.Stats.PeakFrontier != b.Stats.PeakFrontier {
+		t.Errorf("%s: stats differ:\n%+v\n%+v", what, a.Stats, b.Stats)
+	}
+}
+
+func TestParallelIdenticalToSequential(t *testing.T) {
+	cases := []struct {
+		name    string
+		factory func() (*machine.Machine, error)
+		opts    Options
+	}{
+		{"fig1-naive-violation", factoryFor(t, system.Fig1(), system.InstrS, naiveClaim),
+			Options{StatePreds: []StatePredicate{UniquenessPred}}},
+		{"fig1-lock-safe", factoryFor(t, system.Fig1(), system.InstrL, lockClaim),
+			Options{StatePreds: []StatePredicate{UniquenessPred}, TransPreds: []TransitionPredicate{StabilityPred}}},
+		{"crossed-locks-deadlock", factoryFor(t, crossedLocks(), system.InstrL, spinLockBoth),
+			Options{StuckBad: NotAllHalted}},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			modes := checkModes(t, tc.factory, tc.opts)
+			assertIdentical(t, modes["seq"], modes["par"], "parallel vs sequential")
+			assertIdentical(t, modes["sym"], modes["sym+par"], "sym parallel vs sym sequential")
+		})
+	}
+}
+
+// TestSymmetryVerdictEquivalence: on every topology, symmetry reduction
+// must keep the verdict while never exploring more states; violation
+// witnesses must replay to genuinely violating states.
+func TestSymmetryVerdictEquivalence(t *testing.T) {
+	modes := checkModes(t, factoryFor(t, system.Fig1(), system.InstrS, naiveClaim),
+		Options{StatePreds: []StatePredicate{UniquenessPred}})
+	full, sym := modes["seq"], modes["sym"]
+	if (full.Violation == nil) != (sym.Violation == nil) {
+		t.Fatalf("verdicts differ: %+v vs %+v", full.Violation, sym.Violation)
+	}
+	if sym.StatesExplored > full.StatesExplored {
+		t.Errorf("symmetry reduction explored more states: %d > %d", sym.StatesExplored, full.StatesExplored)
+	}
+	if sym.Stats.GroupOrder < 2 {
+		t.Errorf("Fig1 has a swap automorphism; GroupOrder = %d", sym.Stats.GroupOrder)
+	}
+	// Replay the symmetry-reduced witness: it must double-select.
+	m, err := factoryFor(t, system.Fig1(), system.InstrS, naiveClaim)()
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, p := range sym.Violation.Schedule {
+		if err := m.Step(p); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if sel := m.SelectedProcs(); len(sel) < 2 {
+		t.Errorf("replayed symmetry-reduced witness selects %v, want 2", sel)
+	}
+
+	// Safe topology: closure verdict must match too.
+	safe := checkModes(t, factoryFor(t, system.Fig1(), system.InstrL, lockClaim),
+		Options{StatePreds: []StatePredicate{UniquenessPred}, TransPreds: []TransitionPredicate{StabilityPred}})
+	if safe["sym"].Violation != nil || !safe["sym"].Complete {
+		t.Errorf("symmetry-reduced lock check should close safely: %+v", safe["sym"])
+	}
+	if safe["sym"].StatesExplored >= safe["seq"].StatesExplored {
+		t.Errorf("Fig1's swap symmetry should shrink the lock space: %d vs %d",
+			safe["sym"].StatesExplored, safe["seq"].StatesExplored)
+	}
+
+	// Deadlock topology: the crossed-locks system has a proc swap that
+	// also swaps the two variables; the stuck verdict must survive.
+	stuck := checkModes(t, factoryFor(t, crossedLocks(), system.InstrL, spinLockBoth),
+		Options{StuckBad: NotAllHalted})
+	if (stuck["seq"].Violation == nil) != (stuck["sym"].Violation == nil) {
+		t.Fatalf("deadlock verdicts differ: %+v vs %+v", stuck["seq"].Violation, stuck["sym"].Violation)
+	}
+	if stuck["sym"].Violation == nil || !strings.Contains(stuck["sym"].Violation.Reason, "stuck") {
+		t.Errorf("symmetry-reduced check should still find the deadlock: %+v", stuck["sym"].Violation)
+	}
+}

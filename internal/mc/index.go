@@ -1,0 +1,67 @@
+package mc
+
+import (
+	"bytes"
+
+	"simsym/internal/canon"
+)
+
+// stateIndex is the checker's visited set: a compact hashed index over
+// binary state keys, mirroring partition.SigTable. Keys are bucketed by
+// their 64-bit FNV-1a hash and a bucket hit is confirmed by comparing the
+// exact encodings, so ids are collision-free by construction — hash
+// quality affects only speed, never verdicts. All keys live back-to-back
+// in one backing array instead of one heap string per state, which is
+// what lets the checker hold hundreds of thousands of states without
+// materializing megabytes of map keys.
+//
+// Ids are dense and assigned in insertion order, so they double as node
+// indices in the checker's exploration bookkeeping.
+type stateIndex struct {
+	buckets map[uint64][]int32
+	backing []byte
+	spans   [][2]int
+}
+
+// lookup returns the id of key and whether it is present, plus the key's
+// hash so a following insert does not rehash.
+func (t *stateIndex) lookup(key []byte) (id int, hash uint64, ok bool) {
+	hash = canon.HashBytes(key)
+	if t.buckets == nil {
+		return 0, hash, false
+	}
+	for _, id := range t.buckets[hash] {
+		sp := t.spans[id]
+		if bytes.Equal(t.backing[sp[0]:sp[1]], key) {
+			return int(id), hash, true
+		}
+	}
+	return 0, hash, false
+}
+
+// insert adds key (not yet present, with hash from lookup) and returns
+// its dense id. key is copied; the caller keeps ownership of the buffer.
+func (t *stateIndex) insert(key []byte, hash uint64) int {
+	if t.buckets == nil {
+		t.buckets = make(map[uint64][]int32)
+	}
+	id := len(t.spans)
+	start := len(t.backing)
+	t.backing = append(t.backing, key...)
+	t.spans = append(t.spans, [2]int{start, len(t.backing)})
+	t.buckets[hash] = append(t.buckets[hash], int32(id))
+	return id
+}
+
+// len returns the number of indexed states.
+func (t *stateIndex) len() int { return len(t.spans) }
+
+// memBytes estimates the index's memory footprint: backing array, span
+// table, and bucket map overhead.
+func (t *stateIndex) memBytes() int64 {
+	const bucketOverhead = 48 // map entry + slice header amortized
+	return int64(cap(t.backing)) +
+		int64(cap(t.spans))*16 +
+		int64(len(t.buckets))*bucketOverhead +
+		int64(len(t.spans))*4
+}

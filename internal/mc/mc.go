@@ -12,18 +12,40 @@
 // never reach a good state — which is how dining-philosopher deadlocks
 // are detected. Violating schedules are reconstructed; Theorem 1's
 // adversary (the FLP construction) falls out as a reachability witness.
+//
+// The engine is built for scale and observability:
+//
+//   - The visited set is a compact hashed index over binary state keys
+//     (stateIndex, mirroring partition.SigTable) rather than a map of
+//     canonical strings, backed by machine.AppendStateKey's cheap binary
+//     fingerprint path.
+//   - Opt-in symmetry reduction (Options.SymmetryReduce) dedups states
+//     modulo the system's automorphism group — the orbit-quotient
+//     construction the paper's symmetry results suggest.
+//   - Opt-in deterministic parallel frontier expansion (Options.Workers)
+//     fans state expansion over a bounded worker pool with an in-order
+//     sequential merge, so results are label-for-label identical to the
+//     sequential engine.
+//   - Stats (states/sec, depth, dedup hits, memory estimate, group
+//     order) are surfaced through Result and a progress callback, and
+//     time/memory/state budgets can degrade gracefully into a partial
+//     Result instead of an error.
 package mc
 
 import (
+	"bytes"
 	"errors"
 	"fmt"
+	"time"
 
+	"simsym/internal/autgrp"
 	"simsym/internal/machine"
+	"simsym/internal/system"
 )
 
 // Sentinel errors.
 var (
-	ErrBudget = errors.New("mc: state budget exhausted before closure")
+	ErrBudget = errors.New("mc: budget exhausted before closure")
 )
 
 // StatePredicate inspects a state; a non-empty return is a violation
@@ -31,13 +53,51 @@ var (
 type StatePredicate func(m *machine.Machine) string
 
 // TransitionPredicate inspects a transition (before --proc--> after); a
-// non-empty return is a violation description.
+// non-empty return is a violation description. Transition predicates see
+// every scheduled step, including stutter steps whose target state equals
+// the source (self-loops are excluded only from the successor graph).
 type TransitionPredicate func(before, after *machine.Machine, proc int) string
 
 // Options configures a check.
 type Options struct {
-	// MaxStates bounds exploration; 0 means the default (200_000).
+	// MaxStates bounds exploration; 0 means the default (200_000). The
+	// checker explores at most MaxStates distinct states: exhausting the
+	// budget yields a partial Result carrying exactly MaxStates states.
 	MaxStates int
+	// MaxDuration bounds wall-clock exploration time; 0 means unbounded.
+	MaxDuration time.Duration
+	// MaxMemBytes bounds the checker's estimated memory footprint
+	// (visited index plus exploration bookkeeping); 0 means unbounded.
+	MaxMemBytes int64
+	// Partial turns budget exhaustion (states, time, or memory) into a
+	// graceful partial Result — Complete=false, Exhausted naming the
+	// spent budget, nil error — instead of ErrBudget. Absence of a
+	// violation in a partial result is bounded evidence, not proof.
+	Partial bool
+	// SymmetryReduce dedups states modulo the automorphism group of the
+	// system (computed via autgrp): each newly discovered state is
+	// canonicalized to the lexicographically least key over its orbit, so
+	// only one representative per orbit is explored. Sound when every
+	// predicate is invariant under the group — true for the shipped
+	// predicates (Uniqueness, Stability, stuck/halt/eating predicates),
+	// which quantify over all processors. Witness schedules remain
+	// genuine: stored states are reachable states, not permuted images.
+	SymmetryReduce bool
+	// AutLimit bounds automorphism enumeration for SymmetryReduce;
+	// 0 means the autgrp default.
+	AutLimit int
+	// Workers > 1 expands each BFS level in parallel over that many
+	// goroutines. Successors are merged sequentially in frontier order,
+	// so verdicts, witness schedules, state counts, and stats are
+	// label-for-label identical to the sequential engine; predicates are
+	// only ever called from the merging goroutine.
+	Workers int
+	// Progress, when non-nil, receives a Stats snapshot roughly every
+	// ProgressEvery explored states and once when the check finishes.
+	Progress func(Stats)
+	// ProgressEvery is the state interval between Progress callbacks;
+	// 0 means the default (16384).
+	ProgressEvery int
 	// States are violations when any StatePredicate flags them.
 	StatePreds []StatePredicate
 	// Transitions are violations when any TransitionPredicate flags them.
@@ -53,6 +113,9 @@ type Options struct {
 // DefaultMaxStates is the default exploration budget.
 const DefaultMaxStates = 200_000
 
+// DefaultProgressEvery is the default Progress callback interval.
+const DefaultProgressEvery = 16384
+
 // Violation describes a found counterexample.
 type Violation struct {
 	// Reason is the predicate's description.
@@ -63,6 +126,36 @@ type Violation struct {
 	Schedule []int
 }
 
+// Stats is the checker's observability surface, exposed through Result
+// and the Progress callback.
+type Stats struct {
+	// StatesExplored counts distinct states visited (orbit
+	// representatives under symmetry reduction).
+	StatesExplored int
+	// Transitions counts examined non-stutter transitions, including
+	// those into already-visited states.
+	Transitions int64
+	// DedupHits counts transitions into already-visited states.
+	DedupHits int64
+	// SelfLoops counts stutter steps (successor state equals source),
+	// which are excluded from the successor graph.
+	SelfLoops int64
+	// Depth is the BFS depth reached (number of frontier levels begun).
+	Depth int
+	// PeakFrontier is the widest BFS level.
+	PeakFrontier int
+	// PeakMemBytes estimates the peak memory held by the visited index
+	// and exploration bookkeeping (machines pending expansion excluded).
+	PeakMemBytes int64
+	// GroupOrder is the automorphism count used for symmetry reduction
+	// (1 when reduction is off or the group is trivial).
+	GroupOrder int
+	// Elapsed is the wall-clock time spent exploring so far.
+	Elapsed time.Duration
+	// StatesPerSec is StatesExplored / Elapsed.
+	StatesPerSec float64
+}
+
 // Result summarizes a check.
 type Result struct {
 	// StatesExplored counts distinct states visited.
@@ -70,8 +163,13 @@ type Result struct {
 	// Complete is true when the reachable state space was exhausted
 	// within budget, making the absence of violations a proof.
 	Complete bool
+	// Exhausted names the budget that ended an incomplete exploration:
+	// "states", "time", or "memory"; empty otherwise.
+	Exhausted string
 	// Violation is nil if no predicate fired.
 	Violation *Violation
+	// Stats carries the engine's observability counters.
+	Stats Stats
 }
 
 // node is interned exploration bookkeeping.
@@ -82,122 +180,427 @@ type node struct {
 	succs  []int
 }
 
+// succSpan locates one successor's key inside a batch arena.
+type succSpan struct {
+	start, end int
+	selfLoop   bool
+}
+
+// batch is the per-state expansion output: successor machines plus their
+// canonical keys packed into a reusable arena. Batches are reused across
+// levels so steady-state expansion does not allocate per state.
+type batch struct {
+	m       *machine.Machine
+	arena   []byte
+	spans   []succSpan
+	succs   []*machine.Machine
+	err     error
+	scratch [3][]byte
+}
+
+type checker struct {
+	opts          Options
+	nProcs        int
+	maxStates     int
+	progressEvery int
+	deadline      time.Time
+	start         time.Time
+	perms         []system.Permutation // non-identity automorphisms
+	idx           stateIndex
+	nodes         []node
+	level         []*machine.Machine
+	levelIdx      []int
+	next          []*machine.Machine
+	nextIdx       []int
+	res           *Result
+	stats         *Stats
+	sinceProgress int
+	seqBatch      batch
+	parBatches    []batch
+}
+
 // Check explores all schedules of the machine produced by factory().
 // The factory must return a fresh machine in its initial state on every
 // call (Check calls it once).
+//
+// On budget exhaustion Check returns the partial Result alongside
+// ErrBudget (or with a nil error when Options.Partial is set); on
+// machine execution errors the Result is nil.
 func Check(factory func() (*machine.Machine, error), opts Options) (*Result, error) {
 	m0, err := factory()
 	if err != nil {
 		return nil, fmt.Errorf("mc: %w", err)
 	}
-	maxStates := opts.MaxStates
-	if maxStates <= 0 {
-		maxStates = DefaultMaxStates
+	c := &checker{
+		opts:          opts,
+		nProcs:        m0.System().NumProcs(),
+		maxStates:     opts.MaxStates,
+		progressEvery: opts.ProgressEvery,
+		start:         time.Now(),
+		res:           &Result{},
 	}
-	nProcs := m0.System().NumProcs()
-
-	index := make(map[string]int)
-	var nodes []node
-	var frontier []*machine.Machine
-	var frontierIdx []int
-
-	res := &Result{}
-
-	push := func(m *machine.Machine, fp string, parent, step int) int {
-		idx := len(nodes)
-		index[fp] = idx
-		stuck := ""
-		if opts.StuckBad != nil {
-			stuck = opts.StuckBad(m)
-		}
-		nodes = append(nodes, node{parent: parent, step: step, stuck: stuck})
-		frontier = append(frontier, m)
-		frontierIdx = append(frontierIdx, idx)
-		res.StatesExplored++
-		return idx
+	c.stats = &c.res.Stats
+	c.stats.GroupOrder = 1
+	if c.maxStates <= 0 {
+		c.maxStates = DefaultMaxStates
 	}
-
-	scheduleTo := func(idx int) []int {
-		var rev []int
-		for idx >= 0 && nodes[idx].parent >= 0 {
-			rev = append(rev, nodes[idx].step)
-			idx = nodes[idx].parent
-		}
-		out := make([]int, len(rev))
-		for i := range rev {
-			out[i] = rev[len(rev)-1-i]
-		}
-		return out
+	if c.progressEvery <= 0 {
+		c.progressEvery = DefaultProgressEvery
 	}
-
-	checkState := func(m *machine.Machine, idx int) *Violation {
-		for _, pred := range opts.StatePreds {
-			if reason := pred(m); reason != "" {
-				return &Violation{Reason: reason, Schedule: scheduleTo(idx)}
+	if opts.MaxDuration > 0 {
+		c.deadline = c.start.Add(opts.MaxDuration)
+	}
+	if opts.SymmetryReduce {
+		auts, err := autgrp.Automorphisms(m0.System(), autgrp.Options{Limit: opts.AutLimit})
+		if err != nil {
+			return nil, fmt.Errorf("mc: symmetry: %w", err)
+		}
+		c.stats.GroupOrder = len(auts)
+		for _, a := range auts {
+			if !isIdentity(a) {
+				c.perms = append(c.perms, a)
 			}
 		}
+	}
+
+	// Root. The initial state is fixed by every automorphism (they
+	// preserve initial values), but canonicalize anyway for uniformity.
+	rootKey := m0.AppendStateKey(nil, nil, nil)
+	if len(c.perms) > 0 {
+		cand := make([]byte, 0, len(rootKey))
+		for _, perm := range c.perms {
+			cand = m0.AppendStateKey(cand[:0], perm.ProcPerm, perm.VarPerm)
+			if bytes.Compare(cand, rootKey) < 0 {
+				rootKey, cand = cand, rootKey
+			}
+		}
+	}
+	rootIdx := c.push(m0, rootKey, -1, -1)
+	if v := c.checkState(m0, rootIdx); v != nil {
+		c.res.Violation = v
+		return c.finish(nil)
+	}
+
+	workers := opts.Workers
+	if workers <= 0 {
+		workers = 1
+	}
+	c.level, c.levelIdx = c.next, c.nextIdx
+	c.next, c.nextIdx = nil, nil
+	for len(c.level) > 0 {
+		c.stats.Depth++
+		if len(c.level) > c.stats.PeakFrontier {
+			c.stats.PeakFrontier = len(c.level)
+		}
+		var done bool
+		var err error
+		if workers > 1 && len(c.level) > 1 {
+			done, err = c.runLevelParallel(workers)
+		} else {
+			done, err = c.runLevelSequential()
+		}
+		if done {
+			return c.finish(err)
+		}
+		c.level, c.next = c.next, c.level[:0]
+		c.levelIdx, c.nextIdx = c.nextIdx, c.levelIdx[:0]
+	}
+	c.res.Complete = true
+
+	if c.opts.StuckBad != nil {
+		if idx, reason := findStuckComponent(c.nodes); idx >= 0 {
+			c.res.Violation = &Violation{
+				Reason:   "stuck: " + reason,
+				Schedule: c.scheduleTo(idx),
+			}
+		}
+	}
+	return c.finish(nil)
+}
+
+// finish finalizes stats, emits the last progress snapshot, and mirrors
+// the exploration counters into the Result.
+func (c *checker) finish(err error) (*Result, error) {
+	c.stats.StatesExplored = c.res.StatesExplored
+	c.stats.Elapsed = time.Since(c.start)
+	if secs := c.stats.Elapsed.Seconds(); secs > 0 {
+		c.stats.StatesPerSec = float64(c.res.StatesExplored) / secs
+	}
+	if mem := c.memEstimate(); mem > c.stats.PeakMemBytes {
+		c.stats.PeakMemBytes = mem
+	}
+	if c.opts.Progress != nil {
+		c.opts.Progress(*c.stats)
+	}
+	return c.res, err
+}
+
+// runLevelSequential expands and merges the current level one state at a
+// time, reusing a single batch.
+func (c *checker) runLevelSequential() (bool, error) {
+	for i, cur := range c.level {
+		c.level[i] = nil // allow GC of expanded states
+		c.seqBatch.m = cur
+		c.expand(cur, &c.seqBatch)
+		if done, err := c.merge(c.levelIdx[i], &c.seqBatch); done {
+			return true, err
+		}
+		c.seqBatch.m = nil
+	}
+	return false, nil
+}
+
+// runLevelParallel fans expansion of the current level over a worker
+// pool, then merges the per-state batches sequentially in frontier
+// order. The merge order — and therefore every verdict, witness, counter,
+// and the exact visited set — matches the sequential engine.
+func (c *checker) runLevelParallel(workers int) (bool, error) {
+	n := len(c.level)
+	if workers > n {
+		workers = n
+	}
+	for len(c.parBatches) < n {
+		c.parBatches = append(c.parBatches, batch{})
+	}
+	batches := c.parBatches[:n]
+	chunk := (n + workers - 1) / workers
+	done := make(chan struct{}, workers)
+	for w := 0; w < workers; w++ {
+		lo := w * chunk
+		hi := min(lo+chunk, n)
+		if lo >= hi {
+			done <- struct{}{}
+			continue
+		}
+		go func(lo, hi int) {
+			for i := lo; i < hi; i++ {
+				batches[i].m = c.level[i]
+				c.expand(c.level[i], &batches[i])
+			}
+			done <- struct{}{}
+		}(lo, hi)
+	}
+	for w := 0; w < workers; w++ {
+		<-done
+	}
+	for i := range batches {
+		c.level[i] = nil
+		if stop, err := c.merge(c.levelIdx[i], &batches[i]); stop {
+			return true, err
+		}
+		batches[i].m = nil
+	}
+	return false, nil
+}
+
+// expand computes all successors of cur into b: cloned machines plus
+// their canonical binary keys. Pure with respect to checker state except
+// for b, so level expansion parallelizes; predicates never run here.
+func (c *checker) expand(cur *machine.Machine, b *batch) {
+	b.err = nil
+	b.arena = b.arena[:0]
+	b.spans = b.spans[:0]
+	b.succs = b.succs[:0]
+	curKey := cur.AppendStateKey(b.scratch[0][:0], nil, nil)
+	b.scratch[0] = curKey
+	for p := 0; p < c.nProcs; p++ {
+		next := cur.Clone()
+		if err := next.Step(p); err != nil {
+			b.err = fmt.Errorf("mc: stepping %d: %w", p, err)
+			return
+		}
+		raw := next.AppendStateKey(b.scratch[1][:0], nil, nil)
+		b.scratch[1] = raw
+		selfLoop := bytes.Equal(raw, curKey)
+		key := raw
+		if !selfLoop && len(c.perms) > 0 {
+			key = c.minimizeKey(next, b)
+		}
+		start := len(b.arena)
+		b.arena = append(b.arena, key...)
+		b.spans = append(b.spans, succSpan{start: start, end: len(b.arena), selfLoop: selfLoop})
+		b.succs = append(b.succs, next)
+	}
+}
+
+// minimizeKey returns the lexicographically least state key of m over
+// the automorphism group — the orbit-canonical representative key. The
+// raw key is already in b.scratch[1].
+func (c *checker) minimizeKey(m *machine.Machine, b *batch) []byte {
+	best := b.scratch[1]
+	cand := b.scratch[2]
+	for _, perm := range c.perms {
+		cand = m.AppendStateKey(cand[:0], perm.ProcPerm, perm.VarPerm)
+		if bytes.Compare(cand, best) < 0 {
+			best, cand = cand, best
+		}
+	}
+	b.scratch[1], b.scratch[2] = best, cand
+	return best
+}
+
+// merge folds one expanded batch into the exploration: transition
+// predicates (before the self-loop skip — stutter steps are visible to
+// predicates, excluded only from the successor graph), dedup against the
+// hashed index, budget checks before each push, state predicates on new
+// states. Runs only on the coordinating goroutine, in frontier order.
+func (c *checker) merge(curIdx int, b *batch) (bool, error) {
+	if b.err != nil {
+		return true, b.err
+	}
+	for p, sp := range b.spans {
+		next := b.succs[p]
+		for _, pred := range c.opts.TransPreds {
+			if reason := pred(b.m, next, p); reason != "" {
+				c.res.Violation = &Violation{
+					Reason:   reason,
+					Schedule: append(c.scheduleTo(curIdx), p),
+				}
+				return true, nil
+			}
+		}
+		if sp.selfLoop {
+			c.stats.SelfLoops++
+			continue
+		}
+		c.stats.Transitions++
+		key := b.arena[sp.start:sp.end]
+		if id, hash, ok := c.idx.lookup(key); ok {
+			c.stats.DedupHits++
+			c.nodes[curIdx].succs = append(c.nodes[curIdx].succs, id)
+			continue
+		} else if c.res.StatesExplored >= c.maxStates {
+			// Budget check strictly before the push: the checker
+			// explores exactly MaxStates states, never MaxStates+1.
+			return true, c.exhaust("states")
+		} else {
+			id = c.pushHashed(next, key, hash, curIdx, p)
+			c.nodes[curIdx].succs = append(c.nodes[curIdx].succs, id)
+			if v := c.checkState(next, id); v != nil {
+				c.res.Violation = v
+				return true, nil
+			}
+		}
+		if stop, err := c.pollBudgets(); stop {
+			return true, err
+		}
+	}
+	return false, nil
+}
+
+// push interns a state under key and appends its node; the id equals the
+// node index.
+func (c *checker) push(m *machine.Machine, key []byte, parent, step int) int {
+	_, hash, _ := c.idx.lookup(key)
+	return c.pushHashed(m, key, hash, parent, step)
+}
+
+func (c *checker) pushHashed(m *machine.Machine, key []byte, hash uint64, parent, step int) int {
+	id := c.idx.insert(key, hash)
+	stuck := ""
+	if c.opts.StuckBad != nil {
+		stuck = c.opts.StuckBad(m)
+	}
+	c.nodes = append(c.nodes, node{parent: parent, step: step, stuck: stuck})
+	c.next = append(c.next, m)
+	c.nextIdx = append(c.nextIdx, id)
+	c.res.StatesExplored++
+	c.sinceProgress++
+	return id
+}
+
+// pollBudgets emits progress snapshots and enforces the time and memory
+// budgets. Called after each push.
+func (c *checker) pollBudgets() (bool, error) {
+	if c.sinceProgress >= c.progressEvery {
+		c.sinceProgress = 0
+		if mem := c.memEstimate(); mem > c.stats.PeakMemBytes {
+			c.stats.PeakMemBytes = mem
+		}
+		if c.opts.Progress != nil {
+			c.stats.StatesExplored = c.res.StatesExplored
+			c.stats.Elapsed = time.Since(c.start)
+			if secs := c.stats.Elapsed.Seconds(); secs > 0 {
+				c.stats.StatesPerSec = float64(c.res.StatesExplored) / secs
+			}
+			c.opts.Progress(*c.stats)
+		}
+	}
+	if c.opts.MaxMemBytes > 0 {
+		if mem := c.memEstimate(); mem > c.opts.MaxMemBytes {
+			if mem > c.stats.PeakMemBytes {
+				c.stats.PeakMemBytes = mem
+			}
+			return true, c.exhaust("memory")
+		}
+	}
+	if !c.deadline.IsZero() && c.res.StatesExplored%64 == 0 && time.Now().After(c.deadline) {
+		return true, c.exhaust("time")
+	}
+	return false, nil
+}
+
+// memEstimate approximates the checker's resident footprint: the visited
+// index plus per-node bookkeeping and successor edges.
+func (c *checker) memEstimate() int64 {
+	const nodeOverhead = 80 // node struct + slice headers, amortized
+	return c.idx.memBytes() + int64(len(c.nodes))*nodeOverhead + c.stats.Transitions*8
+}
+
+// exhaust records which budget ended the run; with Options.Partial the
+// partial Result is returned without error.
+func (c *checker) exhaust(kind string) error {
+	c.res.Exhausted = kind
+	c.res.Complete = false
+	if c.opts.Partial {
 		return nil
 	}
+	return fmt.Errorf("%w (%s): %d states", ErrBudget, kind, c.res.StatesExplored)
+}
 
-	rootIdx := push(m0, m0.Fingerprint(), -1, -1)
-	if v := checkState(m0, rootIdx); v != nil {
-		res.Violation = v
-		return res, nil
+func (c *checker) scheduleTo(idx int) []int {
+	var rev []int
+	for idx >= 0 && c.nodes[idx].parent >= 0 {
+		rev = append(rev, c.nodes[idx].step)
+		idx = c.nodes[idx].parent
 	}
+	out := make([]int, len(rev))
+	for i := range rev {
+		out[i] = rev[len(rev)-1-i]
+	}
+	return out
+}
 
-	for head := 0; head < len(frontier); head++ {
-		cur := frontier[head]
-		curIdx := frontierIdx[head]
-		frontier[head] = nil // allow GC of expanded states
-		curFP := cur.Fingerprint()
-		for p := 0; p < nProcs; p++ {
-			next := cur.Clone()
-			if err := next.Step(p); err != nil {
-				return nil, fmt.Errorf("mc: stepping %d: %w", p, err)
-			}
-			nextFP := next.Fingerprint()
-			if nextFP == curFP {
-				continue // self-loop (halted or no-effect step)
-			}
-			for _, pred := range opts.TransPreds {
-				if reason := pred(cur, next, p); reason != "" {
-					res.Violation = &Violation{
-						Reason:   reason,
-						Schedule: append(scheduleTo(curIdx), p),
-					}
-					return res, nil
-				}
-			}
-			nextIdx, seen := index[nextFP]
-			if !seen {
-				nextIdx = push(next, nextFP, curIdx, p)
-				if v := checkState(next, nextIdx); v != nil {
-					res.Violation = v
-					return res, nil
-				}
-				if res.StatesExplored > maxStates {
-					return res, fmt.Errorf("%w: %d states", ErrBudget, res.StatesExplored)
-				}
-			}
-			nodes[curIdx].succs = append(nodes[curIdx].succs, nextIdx)
+func (c *checker) checkState(m *machine.Machine, idx int) *Violation {
+	for _, pred := range c.opts.StatePreds {
+		if reason := pred(m); reason != "" {
+			return &Violation{Reason: reason, Schedule: c.scheduleTo(idx)}
 		}
 	}
-	res.Complete = true
+	return nil
+}
 
-	if opts.StuckBad != nil {
-		if idx, reason := findStuckComponent(nodes); idx >= 0 {
-			res.Violation = &Violation{
-				Reason:   "stuck: " + reason,
-				Schedule: scheduleTo(idx),
-			}
+// isIdentity reports whether perm maps every node to itself.
+func isIdentity(perm system.Permutation) bool {
+	for i, v := range perm.ProcPerm {
+		if v != i {
+			return false
 		}
 	}
-	return res, nil
+	for i, v := range perm.VarPerm {
+		if v != i {
+			return false
+		}
+	}
+	return true
 }
 
 // findStuckComponent runs Tarjan's SCC algorithm (iteratively) and
 // returns a representative node of the first terminal SCC whose states
-// are all flagged stuck, or (-1, "").
+// are all flagged stuck, or (-1, ""). Under symmetry reduction the graph
+// is the orbit quotient; a terminal all-bad component there corresponds
+// to one in the full graph because the stuck predicate is
+// automorphism-invariant.
 func findStuckComponent(nodes []node) (int, string) {
 	n := len(nodes)
 	const unvisited = -1

@@ -95,6 +95,11 @@ func TestIsKBounded(t *testing.T) {
 		{"gap breaks bound", []int{0, 1, 0, 0, 0, 1}, 2, 3, false},
 		{"wide window ok", []int{0, 1, 0, 0, 1, 0}, 2, 4, true},
 		{"short schedule vacuous", []int{0}, 2, 5, true},
+		{"empty schedule vacuous", nil, 2, 2, true},
+		{"negative index is not a processor", []int{0, -1, 1, 0, -1, 1}, 2, 3, true},
+		{"negative index cannot stand in for coverage", []int{0, -1, 0}, 2, 3, false},
+		{"index past n-1 is not a processor", []int{0, 5, 0}, 2, 3, false},
+		{"out-of-range mixed with full coverage", []int{0, 7, 1}, 2, 3, true},
 	}
 	for _, tt := range tests {
 		t.Run(tt.name, func(t *testing.T) {
@@ -102,6 +107,38 @@ func TestIsKBounded(t *testing.T) {
 				t.Errorf("IsKBounded(%v,%d,%d) = %v, want %v", tt.sched, tt.n, tt.k, got, tt.want)
 			}
 		})
+	}
+}
+
+// TestShuffledRoundsKBoundedProperty: a schedule of per-round random
+// permutations is (2n-1)-bounded fair for every n, rounds, and seed — a
+// processor placed last in one round and first in the next is 2n-1 steps
+// from its previous occurrence, never more.
+func TestShuffledRoundsKBoundedProperty(t *testing.T) {
+	f := func(nRaw, roundsRaw uint8, seed int64) bool {
+		n := int(nRaw%8) + 1
+		rounds := int(roundsRaw % 12)
+		s, err := ShuffledRounds(rand.New(rand.NewSource(seed)), n, rounds)
+		if err != nil {
+			return false
+		}
+		if len(s) != n*rounds {
+			return false
+		}
+		return IsKBounded(s, n, 2*n-1)
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestShuffledRoundsRejectsBadArgs(t *testing.T) {
+	rng := rand.New(rand.NewSource(1))
+	if _, err := ShuffledRounds(rng, 0, 1); err == nil {
+		t.Error("n=0 should fail")
+	}
+	if _, err := ShuffledRounds(rng, 3, -1); err == nil {
+		t.Error("rounds=-1 should fail")
 	}
 }
 
