@@ -17,6 +17,7 @@ import (
 	"math/rand"
 	"os"
 
+	"simsym/internal/adversary"
 	"simsym/internal/dining"
 	"simsym/internal/randomized"
 	"simsym/internal/system"
@@ -39,6 +40,8 @@ func run(args []string, out io.Writer) error {
 	maxStates := fs.Int("max-states", 100_000, "model-checker state budget")
 	random := fs.Bool("random", false, "run the Lehmann-Rabin randomized algorithm instead")
 	seed := fs.Int64("seed", 1, "random seed")
+	faults := fs.String("faults", "", "comma-separated fault classes to inject: crash, stall, lockdrop")
+	replay := fs.Bool("replay", false, "replay the fault-injected run's trace and verify it is byte-identical")
 	if err := fs.Parse(args); err != nil {
 		return err
 	}
@@ -91,6 +94,12 @@ func run(args []string, out io.Writer) error {
 		fmt.Fprintf(out, "round-robin meals: %v\n", got)
 	}
 
+	if *faults != "" {
+		if err := runFaulted(out, sys, *meals, *faults, *seed, *replay); err != nil {
+			return err
+		}
+	}
+
 	if *check {
 		rep, err := dining.Check(sys, oneMeal, *maxStates)
 		if err != nil {
@@ -107,6 +116,53 @@ func run(args []string, out io.Writer) error {
 		} else {
 			fmt.Fprintln(out, "  no deadlock found")
 		}
+	}
+	return nil
+}
+
+// runFaulted drives the table through the adversary harness with seeded
+// fault injection: crashes and stalls must never break exclusion (they
+// only cost progress), while lock-drop attacks the locking assumption
+// itself and may surface a replayable exclusion violation.
+func runFaulted(out io.Writer, sys *system.System, meals int, faults string, seed int64, replay bool) error {
+	spec, err := adversary.ParseSpec(faults, seed)
+	if err != nil {
+		return err
+	}
+	h, err := adversary.NewDiningHarness(sys, meals,
+		adversary.Shuffled(rand.New(rand.NewSource(seed)), sys.NumProcs()))
+	if err != nil {
+		return err
+	}
+	h.Faults = adversary.NewFaults(spec, sys.NumProcs(), sys.NumVars())
+	h.MaxSlots = 20000
+	res, err := h.Run()
+	if err != nil {
+		return err
+	}
+	fmt.Fprintf(out, "fault run (seed %d, faults %s): steps=%d slots=%d events=%d done=%v\n",
+		seed, faults, res.Steps, res.Slots, len(res.FaultLog), res.Done)
+	for _, e := range res.FaultLog {
+		if e.Kind != adversary.KindStall {
+			fmt.Fprintf(out, "  fault %v\n", e)
+		}
+	}
+	if res.Violation != nil {
+		fmt.Fprintf(out, "fault run: VIOLATION %s (slot %d, %d-slot trace recorded)\n",
+			res.Violation.Reason, res.Violation.Slot, len(res.Schedule))
+	} else {
+		fmt.Fprintf(out, "fault run: exclusion held, meals %v\n", dining.Meals(res.Final))
+	}
+	if replay {
+		rep, err := h.Replay(res)
+		if err != nil {
+			return err
+		}
+		if d := res.Diff(rep); d != "" {
+			return fmt.Errorf("replay diverged: %s", d)
+		}
+		fmt.Fprintf(out, "replay: byte-identical (%d slots, %d fault events, fingerprint match)\n",
+			rep.Slots, len(rep.FaultLog))
 	}
 	return nil
 }

@@ -52,3 +52,17 @@ func TestBadTable(t *testing.T) {
 		t.Error("odd flipped table should fail")
 	}
 }
+
+func TestFaultRunReplay(t *testing.T) {
+	var out strings.Builder
+	if err := run([]string{"-n", "4", "-flipped", "-meals", "2",
+		"-faults", "stall", "-seed", "3", "-replay"}, &out); err != nil {
+		t.Fatal(err)
+	}
+	got := out.String()
+	for _, want := range []string{"fault run (seed 3, faults stall)", "replay: byte-identical"} {
+		if !strings.Contains(got, want) {
+			t.Errorf("output missing %q:\n%s", want, got)
+		}
+	}
+}

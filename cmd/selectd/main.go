@@ -16,6 +16,7 @@ import (
 	"math/rand"
 	"os"
 
+	"simsym/internal/adversary"
 	"simsym/internal/machine"
 	"simsym/internal/mc"
 	"simsym/internal/sched"
@@ -40,6 +41,9 @@ func run(args []string, out io.Writer) error {
 	runs := fs.Int("runs", 5, "fair executions of the generated program")
 	verify := fs.Bool("verify", false, "model-check Uniqueness and Stability over all schedules")
 	maxStates := fs.Int("max-states", 300_000, "model-checker state budget")
+	faults := fs.String("faults", "", "comma-separated fault classes to inject: crash, stall, lockdrop")
+	seed := fs.Int64("seed", 1, "seed for the fault-injected run (schedule and fault streams)")
+	replay := fs.Bool("replay", false, "replay the fault-injected run's trace and verify it is byte-identical")
 	if err := fs.Parse(args); err != nil {
 		return err
 	}
@@ -105,6 +109,12 @@ func run(args []string, out io.Writer) error {
 		fmt.Fprintf(out, "run %d: winner %s after %d rounds\n", seed, winner, rounds)
 	}
 
+	if *faults != "" {
+		if err := runFaulted(out, sys, is, sc, *faults, *seed, *replay); err != nil {
+			return err
+		}
+	}
+
 	if *verify {
 		res, err := mc.Check(func() (*machine.Machine, error) {
 			return machine.New(sys, is, prog)
@@ -124,6 +134,59 @@ func run(args []string, out io.Writer) error {
 			fmt.Fprintf(out, "verification: safe over %d states (complete=%v)\n",
 				res.StatesExplored, res.Complete)
 		}
+	}
+	return nil
+}
+
+// runFaulted drives the SELECT program through the adversary harness
+// with seeded fault injection, reporting convergence and any invariant
+// violation, and optionally proving the trace replays byte-identically.
+func runFaulted(out io.Writer, sys *system.System, is system.InstrSet, sc system.ScheduleClass, faults string, seed int64, replay bool) error {
+	spec, err := adversary.ParseSpec(faults, seed)
+	if err != nil {
+		return err
+	}
+	h, err := adversary.NewSelectHarness(sys, is, sc,
+		adversary.Shuffled(rand.New(rand.NewSource(seed)), sys.NumProcs()))
+	if err != nil {
+		return err
+	}
+	h.Faults = adversary.NewFaults(spec, sys.NumProcs(), sys.NumVars())
+	res, err := h.Run()
+	if err != nil {
+		return err
+	}
+	fmt.Fprintf(out, "fault run (seed %d, faults %s): steps=%d slots=%d events=%d done=%v\n",
+		seed, faults, res.Steps, res.Slots, len(res.FaultLog), res.Done)
+	for _, e := range res.FaultLog {
+		if e.Kind != adversary.KindStall {
+			fmt.Fprintf(out, "  fault %v\n", e)
+		}
+	}
+	switch {
+	case res.Violation != nil:
+		fmt.Fprintf(out, "fault run: VIOLATION %s (slot %d, %d-slot trace recorded)\n",
+			res.Violation.Reason, res.Violation.Slot, len(res.Schedule))
+	case res.Done:
+		sel := res.Final.SelectedProcs()
+		winner := "none"
+		if len(sel) == 1 {
+			winner = sys.ProcIDs[sel[0]]
+		}
+		fmt.Fprintf(out, "fault run: converged, winner %s\n", winner)
+	default:
+		fmt.Fprintf(out, "fault run: no convergence within budget (faults may have blocked progress)\n")
+	}
+	if replay {
+		rep, err := h.Replay(res)
+		if err != nil {
+			return err
+		}
+		if d := res.Diff(rep); d != "" {
+			return fmt.Errorf("replay diverged: %s", d)
+		}
+		fmt.Fprintf(out, "replay: byte-identical (%d slots, %d fault events, fingerprint match)\n",
+			rep.Slots, len(rep.FaultLog))
 	}
 	return nil
 }

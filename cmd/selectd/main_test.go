@@ -60,3 +60,25 @@ func TestArgErrors(t *testing.T) {
 		t.Error("missing system should fail")
 	}
 }
+
+func TestFaultRunReplay(t *testing.T) {
+	var out strings.Builder
+	if err := run([]string{"-gen", "fig2", "-instr", "q", "-runs", "0",
+		"-faults", "crash", "-seed", "7", "-replay"}, &out); err != nil {
+		t.Fatal(err)
+	}
+	got := out.String()
+	for _, want := range []string{"fault run (seed 7, faults crash)", "replay: byte-identical"} {
+		if !strings.Contains(got, want) {
+			t.Errorf("output missing %q:\n%s", want, got)
+		}
+	}
+}
+
+func TestFaultRunRejectsUnknownClass(t *testing.T) {
+	var out strings.Builder
+	if err := run([]string{"-gen", "fig2", "-instr", "q", "-runs", "0",
+		"-faults", "gremlins"}, &out); err == nil {
+		t.Fatal("unknown fault class should be rejected")
+	}
+}

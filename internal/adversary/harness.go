@@ -1,0 +1,308 @@
+package adversary
+
+import (
+	"fmt"
+
+	"simsym/internal/dining"
+	"simsym/internal/distlabel"
+	"simsym/internal/family"
+	"simsym/internal/machine"
+	"simsym/internal/mc"
+	"simsym/internal/selection"
+	"simsym/internal/system"
+)
+
+// Violation records the first invariant breach of a harness run.
+type Violation struct {
+	Slot   int    // schedule slot during which the breach appeared
+	Step   int    // executed steps at that point
+	Reason string // the predicate's message (mc predicate conventions)
+}
+
+// Result is the complete, replayable record of one harness run: the
+// schedule prefix actually consumed, the fault log, and enough outcome
+// state to compare runs byte for byte. Replaying (Schedule, FaultLog)
+// over the same program must reproduce an Equal Result — the determinism
+// tests and the -replay CLI flags enforce exactly that.
+type Result struct {
+	Schedule []int   // every slot's scheduled processor, in order
+	FaultLog []Event // every fault that fired, in slot order
+	Steps    int     // steps actually executed (slots minus skips/stutters)
+	Slots    int     // schedule slots consumed
+	Done     bool    // the harness's convergence predicate held
+	Halted   bool    // every processor halted (voluntarily or crashed)
+	Violation *Violation
+	Fingerprint string // final machine.Fingerprint()
+
+	// Final is the machine in its final state, for callers that want to
+	// inspect beyond the fingerprint (meal counts, selected set). Not
+	// part of run identity: Diff/Equal ignore it, Fingerprint covers it.
+	Final *machine.Machine
+}
+
+// Diff returns "" when the two results describe the identical run, and a
+// description of the first divergence otherwise.
+func (r *Result) Diff(o *Result) string {
+	if len(r.Schedule) != len(o.Schedule) {
+		return fmt.Sprintf("schedule length %d vs %d", len(r.Schedule), len(o.Schedule))
+	}
+	for i := range r.Schedule {
+		if r.Schedule[i] != o.Schedule[i] {
+			return fmt.Sprintf("schedule slot %d: %d vs %d", i, r.Schedule[i], o.Schedule[i])
+		}
+	}
+	if len(r.FaultLog) != len(o.FaultLog) {
+		return fmt.Sprintf("fault log length %d vs %d", len(r.FaultLog), len(o.FaultLog))
+	}
+	for i := range r.FaultLog {
+		if r.FaultLog[i] != o.FaultLog[i] {
+			return fmt.Sprintf("fault log entry %d: %v vs %v", i, r.FaultLog[i], o.FaultLog[i])
+		}
+	}
+	switch {
+	case r.Steps != o.Steps:
+		return fmt.Sprintf("steps %d vs %d", r.Steps, o.Steps)
+	case r.Slots != o.Slots:
+		return fmt.Sprintf("slots %d vs %d", r.Slots, o.Slots)
+	case r.Done != o.Done:
+		return fmt.Sprintf("done %v vs %v", r.Done, o.Done)
+	case r.Halted != o.Halted:
+		return fmt.Sprintf("halted %v vs %v", r.Halted, o.Halted)
+	case (r.Violation == nil) != (o.Violation == nil):
+		return fmt.Sprintf("violation %v vs %v", r.Violation, o.Violation)
+	case r.Violation != nil && *r.Violation != *o.Violation:
+		return fmt.Sprintf("violation %+v vs %+v", *r.Violation, *o.Violation)
+	case r.Fingerprint != o.Fingerprint:
+		return "final fingerprints differ"
+	}
+	return ""
+}
+
+// Equal reports whether two results describe the identical run.
+func (r *Result) Equal(o *Result) bool { return r.Diff(o) == "" }
+
+// Harness drives one algorithm run under a streaming scheduler with
+// optional fault injection, checking invariants after every executed
+// step and recording a replayable trace. Zero values: MaxSlots defaults
+// to 10000; nil Faults injects nothing; nil Done never converges early;
+// empty predicate slices check nothing.
+type Harness struct {
+	Sys   *system.System
+	Instr system.InstrSet
+	Prog  *machine.Program
+
+	Sched  machine.Scheduler
+	Faults Layer
+
+	// MaxSlots bounds schedule slots (including skipped ones), so
+	// stall-heavy or stuttering runs terminate too.
+	MaxSlots int
+
+	// StatePreds are checked after every executed step (and after any
+	// slot whose faults fired); TransPreds see (before, after, proc) for
+	// every executed step. Both follow package mc's conventions: a
+	// non-empty string is a violation message.
+	StatePreds []mc.StatePredicate
+	TransPreds []mc.TransitionPredicate
+
+	// Done is the convergence predicate, checked before every slot and
+	// once more at the end.
+	Done func(m *machine.Machine) bool
+}
+
+const defaultMaxSlots = 10000
+
+// Run executes the harness from a fresh machine to convergence, budget
+// exhaustion, scheduler end, or first violation, and returns the
+// replayable record. Violations end the run but are not errors; err is
+// reserved for broken configurations (bad system, illegal instruction).
+func (h *Harness) Run() (*Result, error) {
+	m, err := machine.New(h.Sys, h.Instr, h.Prog)
+	if err != nil {
+		return nil, err
+	}
+	budget := h.MaxSlots
+	if budget <= 0 {
+		budget = defaultMaxSlots
+	}
+	res := &Result{}
+	finish := func() (*Result, error) {
+		res.Halted = m.AllHalted()
+		if !res.Done && res.Violation == nil && h.Done != nil {
+			res.Done = h.Done(m)
+		}
+		res.Fingerprint = m.Fingerprint()
+		res.Final = m
+		return res, nil
+	}
+	for res.Slots < budget {
+		if h.Done != nil && h.Done(m) {
+			res.Done = true
+			break
+		}
+		if m.AllHalted() {
+			break
+		}
+		pick, ok := h.Sched.Next(m)
+		if !ok {
+			break
+		}
+		slot := res.Slots
+		res.Schedule = append(res.Schedule, pick)
+		res.Slots++
+		skip := false
+		if h.Faults != nil {
+			var evs []Event
+			skip, evs = h.Faults.Apply(slot, pick, m)
+			if len(evs) > 0 {
+				res.FaultLog = append(res.FaultLog, evs...)
+				if v := h.checkState(m, slot, res.Steps); v != nil {
+					res.Violation = v
+					return finish()
+				}
+			}
+		}
+		if skip {
+			continue
+		}
+		var before *machine.Machine
+		if len(h.TransPreds) > 0 {
+			before = m.Clone()
+		}
+		stepped, err := m.StepOrSkip(pick)
+		if err != nil {
+			return nil, err
+		}
+		if !stepped {
+			continue // halted/crashed pick: the slot is burned, nothing moved
+		}
+		res.Steps++
+		if v := h.checkState(m, slot, res.Steps); v != nil {
+			res.Violation = v
+			return finish()
+		}
+		for _, pred := range h.TransPreds {
+			if msg := pred(before, m, pick); msg != "" {
+				res.Violation = &Violation{Slot: slot, Step: res.Steps, Reason: msg}
+				return finish()
+			}
+		}
+	}
+	return finish()
+}
+
+func (h *Harness) checkState(m *machine.Machine, slot, step int) *Violation {
+	for _, pred := range h.StatePreds {
+		if msg := pred(m); msg != "" {
+			return &Violation{Slot: slot, Step: step, Reason: msg}
+		}
+	}
+	return nil
+}
+
+// Replay re-executes a recorded run: the schedule prefix is replayed
+// slot for slot and the fault log re-fired at its recorded slots. The
+// returned Result must be Equal to the record; callers treat any Diff as
+// a determinism bug.
+func (h *Harness) Replay(rec *Result) (*Result, error) {
+	h2 := *h
+	h2.Sched = FromSlice(rec.Schedule)
+	h2.Faults = NewReplayer(rec.FaultLog)
+	if rec.Slots > 0 {
+		h2.MaxSlots = rec.Slots
+	}
+	return h2.Run()
+}
+
+// NewSelectHarness builds a harness running the paper's SELECT program
+// for sys under the given model, with the Uniqueness and Stability
+// invariants installed and convergence = selection.Settled. The caller
+// supplies the scheduler (and optionally Faults / MaxSlots afterwards).
+func NewSelectHarness(sys *system.System, instr system.InstrSet, sch system.ScheduleClass, s machine.Scheduler) (*Harness, error) {
+	prog, _, err := selection.Select(sys, instr, sch)
+	if err != nil {
+		return nil, err
+	}
+	return &Harness{
+		Sys:        sys,
+		Instr:      instr,
+		Prog:       prog,
+		Sched:      s,
+		StatePreds: []mc.StatePredicate{mc.UniquenessPred},
+		TransPreds: []mc.TransitionPredicate{mc.StabilityPred},
+		Done:       selection.Settled,
+	}, nil
+}
+
+// NewAlgorithm3Harness builds a harness running distlabel Algorithm 3's
+// uniform program on member of fam (instruction set Q), with an invariant
+// that any processor halting on its own has learned its correct family
+// label, and convergence when all of them have.
+func NewAlgorithm3Harness(fam *family.Family, member int, s machine.Scheduler) (*Harness, error) {
+	if member < 0 || member >= len(fam.Members) {
+		return nil, fmt.Errorf("adversary: member %d out of range (%d members)", member, len(fam.Members))
+	}
+	plan, err := distlabel.PlanAlgorithm3(fam)
+	if err != nil {
+		return nil, err
+	}
+	prog, err := plan.Program(distlabel.Options{})
+	if err != nil {
+		return nil, err
+	}
+	want := plan.MemberLabels[member]
+	labelCheck := func(m *machine.Machine) string {
+		for p := 0; p < m.NumProcs(); p++ {
+			if !m.Halted(p) || m.Crashed(p) {
+				continue // crashed processors owe nothing
+			}
+			v, ok := m.Local(p, "label2")
+			if !ok {
+				return fmt.Sprintf("algorithm 3: processor %d halted without a family label", p)
+			}
+			if v != want[p] {
+				return fmt.Sprintf("algorithm 3: processor %d halted with label %v, want %d", p, v, want[p])
+			}
+		}
+		return ""
+	}
+	return &Harness{
+		Sys:        fam.Members[member],
+		Instr:      system.InstrQ,
+		Prog:       prog,
+		Sched:      s,
+		StatePreds: []mc.StatePredicate{labelCheck},
+		Done:       func(m *machine.Machine) bool { return distlabel.AllResolved(m, "label2") },
+	}, nil
+}
+
+// NewDiningHarness builds a harness running the fork-locking philosopher
+// program (instruction set L) on a dining table, with the exclusion
+// invariant installed and convergence when every philosopher that has
+// not crashed has eaten its meals.
+func NewDiningHarness(sys *system.System, meals int, s machine.Scheduler) (*Harness, error) {
+	prog, err := dining.Program("left", "right", meals)
+	if err != nil {
+		return nil, err
+	}
+	excl, err := dining.ExclusionPred(sys)
+	if err != nil {
+		return nil, err
+	}
+	done := func(m *machine.Machine) bool {
+		for p, got := range dining.Meals(m) {
+			if !m.Crashed(p) && got < meals {
+				return false
+			}
+		}
+		return true
+	}
+	return &Harness{
+		Sys:        sys,
+		Instr:      system.InstrL,
+		Prog:       prog,
+		Sched:      s,
+		StatePreds: []mc.StatePredicate{excl},
+		Done:       done,
+	}, nil
+}

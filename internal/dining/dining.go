@@ -218,13 +218,19 @@ func RunFair(sys *system.System, prog *machine.Program, rounds int) ([]int, erro
 	if _, err := m.Run(rr); err != nil {
 		return nil, fmt.Errorf("dining: %w", err)
 	}
-	meals := make([]int, sys.NumProcs())
+	return Meals(m), nil
+}
+
+// Meals returns each philosopher's meal count (zero when the counter was
+// never initialized, e.g. the processor crashed before its first step).
+func Meals(m *machine.Machine) []int {
+	meals := make([]int, m.NumProcs())
 	for p := range meals {
 		if v, ok := m.Local(p, "meals"); ok {
 			meals[p], _ = v.(int)
 		}
 	}
-	return meals, nil
+	return meals
 }
 
 // GreedyProgram is the strawman that ignores locking: read both forks,

@@ -217,3 +217,22 @@ func planPhases(fam *family.Family) (*Plan3, error) {
 	}
 	return &Plan3{Topo1: topo1, Topo2: topo2, MemberLabels: memberLabels}, nil
 }
+
+// AllResolved reports whether every processor that has not crashed has
+// halted with the given label local set — the convergence predicate for
+// the labeling programs under streaming adversary harnesses ("label1"
+// for Algorithm 2, "label2" for Algorithms 3 and 4).
+func AllResolved(m *machine.Machine, local string) bool {
+	for p := 0; p < m.NumProcs(); p++ {
+		if m.Crashed(p) {
+			continue
+		}
+		if !m.Halted(p) {
+			return false
+		}
+		if _, ok := m.Local(p, local); !ok {
+			return false
+		}
+	}
+	return true
+}

@@ -4,6 +4,7 @@ import (
 	"fmt"
 	"math/rand"
 
+	"simsym/internal/adversary"
 	"simsym/internal/core"
 	"simsym/internal/csp"
 	"simsym/internal/dining"
@@ -103,6 +104,47 @@ func E13Encapsulated() (*Table, error) {
 		fmt.Sprintf("%s / %s (%d states, complete=%v)",
 			yesNo(rep.ExclusionViolated != nil), yesNo(rep.Deadlocked != nil),
 			rep.StatesExplored, rep.Complete))
+
+	// Fault sweep over the Chandy–Misra protocol: crash-stop and stall
+	// faults must leave exclusion intact (they can only starve the
+	// crashed philosopher's neighbors), checked after every step by the
+	// streaming adversary harness.
+	excl, err := dining.ExclusionPred(s)
+	if err != nil {
+		return nil, err
+	}
+	for _, fc := range []struct {
+		name string
+		spec adversary.Spec
+	}{
+		{"crash", adversary.Spec{CrashRate: 0.005, MaxCrashes: 1, CrashSeed: 13}},
+		{"stall", adversary.Spec{StallRate: 0.05, StallLen: 9, StallSeed: 13}},
+	} {
+		fprog, err := dining.ChandyMisraProgram(2)
+		if err != nil {
+			return nil, err
+		}
+		h := &adversary.Harness{
+			Sys:        s,
+			Instr:      system.InstrL,
+			Prog:       fprog,
+			Sched:      adversary.Shuffled(rand.New(rand.NewSource(13)), n),
+			Faults:     adversary.NewFaults(fc.spec, n, s.NumVars()),
+			MaxSlots:   20_000,
+			StatePreds: []mc.StatePredicate{excl},
+		}
+		res, err := h.Run()
+		if err != nil {
+			return nil, err
+		}
+		verdict := "held"
+		if res.Violation != nil {
+			verdict = fmt.Sprintf("VIOLATED: %s (%d-slot replayable trace)",
+				res.Violation.Reason, len(res.Schedule))
+		}
+		t.AddRow("fault sweep (CM, 2 meals): "+fc.name,
+			fmt.Sprintf("exclusion %s; steps=%d fault events=%d", verdict, res.Steps, len(res.FaultLog)))
+	}
 	t.Note("the program is uniform and processors anonymous; the asymmetry lives entirely in the dirty-fork orientation of the initial state, as [CM84] prescribes")
 	return t, nil
 }

@@ -14,6 +14,7 @@ import (
 var (
 	ErrInstrNotAllowed = errors.New("machine: instruction not in instruction set")
 	ErrBadProcessor    = errors.New("machine: processor index out of range")
+	ErrBadVariable     = errors.New("machine: variable index out of range")
 	ErrMissingLocal    = errors.New("machine: local variable not set")
 	ErrBadInstrSet     = errors.New("machine: unsupported instruction set")
 )
@@ -48,6 +49,13 @@ type Machine struct {
 
 	steps int
 
+	// crashed marks processors halted by fault injection (Crash) rather
+	// than by their own program. A crashed processor is observationally a
+	// halted one — fingerprints and other processors cannot tell the
+	// difference — but harnesses use the distinction to excuse crashed
+	// processors from convergence and correctness obligations.
+	crashed []bool
+
 	// Fingerprint caches: a step touches one processor frame and at most
 	// one variable, so caching makes whole-state fingerprints (the model
 	// checker's hot path) incremental. Empty string means stale.
@@ -75,6 +83,7 @@ func New(sys *system.System, instr system.InstrSet, program *Program) (*Machine,
 		varVal:  make([]any, sys.NumVars()),
 		locked:  make([]bool, sys.NumVars()),
 		varSub:  make([]qVar, sys.NumVars()),
+		crashed: make([]bool, sys.NumProcs()),
 		procFP:  make([]string, sys.NumProcs()),
 		varFP:   make([]string, sys.NumVars()),
 	}
@@ -90,6 +99,12 @@ func New(sys *system.System, instr system.InstrSet, program *Program) (*Machine,
 
 // System returns the underlying system.
 func (m *Machine) System() *system.System { return m.sys }
+
+// NumProcs returns the number of processors.
+func (m *Machine) NumProcs() int { return len(m.frames) }
+
+// NumVars returns the number of variables.
+func (m *Machine) NumVars() int { return len(m.varVal) }
 
 // Steps returns the number of executed steps.
 func (m *Machine) Steps() int { return m.steps }
@@ -268,13 +283,44 @@ func (m *Machine) peekValue(v int) PeekResult {
 	return PeekResult{Init: m.sys.VarInit[v], Values: vals}
 }
 
-// Run executes the schedule (a sequence of processor indices) from the
-// current state, stopping early if every processor halts. It returns the
-// number of steps actually executed.
-func (m *Machine) Run(schedule []int) (int, error) {
+// Scheduler streams schedule steps to a running machine. Next observes
+// the current state and returns the processor to step, or ok=false to end
+// the schedule. This is the paper's adversary in executable form: the
+// schedule classes (general, fair, k-bounded-fair) are restrictions on
+// what Next may return, and the impossibility proofs' adversaries are
+// implementations that pick each step after watching the previous one
+// land. Next must not mutate m (probe on a Clone instead).
+type Scheduler interface {
+	Next(m *Machine) (proc int, ok bool)
+}
+
+// sliceScheduler streams a precomputed finite schedule.
+type sliceScheduler struct {
+	schedule []int
+	i        int
+}
+
+func (s *sliceScheduler) Next(*Machine) (int, bool) {
+	if s.i >= len(s.schedule) {
+		return 0, false
+	}
+	p := s.schedule[s.i]
+	s.i++
+	return p, true
+}
+
+// RunWith executes steps streamed by s from the current state, stopping
+// early when every processor halts or s ends the schedule. It returns the
+// number of steps executed. This is the primary driver; Run wraps it for
+// finite precomputed schedules.
+func (m *Machine) RunWith(s Scheduler) (int, error) {
 	done := 0
-	for _, p := range schedule {
+	for {
 		if m.AllHalted() {
+			return done, nil
+		}
+		p, ok := s.Next(m)
+		if !ok {
 			return done, nil
 		}
 		if err := m.Step(p); err != nil {
@@ -282,8 +328,70 @@ func (m *Machine) Run(schedule []int) (int, error) {
 		}
 		done++
 	}
-	return done, nil
 }
+
+// Run executes the schedule (a sequence of processor indices) from the
+// current state, stopping early if every processor halts. It returns the
+// number of steps actually executed.
+func (m *Machine) Run(schedule []int) (int, error) {
+	return m.RunWith(&sliceScheduler{schedule: schedule})
+}
+
+// StepOrSkip executes one step of processor p unless p has halted (or
+// crashed), in which case it reports stepped=false and leaves the machine
+// — including the step counter — untouched. Step treats a halted pick as
+// a counted stutter, matching the paper's schedules which may name any
+// processor; StepOrSkip is the fault harness's hook for distinguishing
+// real steps from burned slots.
+func (m *Machine) StepOrSkip(p int) (stepped bool, err error) {
+	if p < 0 || p >= len(m.frames) {
+		return false, fmt.Errorf("%w: %d", ErrBadProcessor, p)
+	}
+	if m.frames[p].Halted {
+		return false, nil
+	}
+	return true, m.Step(p)
+}
+
+// Crash permanently halts processor p without consuming a schedule step —
+// the fault model's crash-stop failure. The frame (locals, program
+// counter, selected flag) survives; only the ability to step is lost.
+// Crashing a processor that already halted on its own is a no-op.
+func (m *Machine) Crash(p int) error {
+	if p < 0 || p >= len(m.frames) {
+		return fmt.Errorf("%w: %d", ErrBadProcessor, p)
+	}
+	if !m.frames[p].Halted {
+		m.frames[p].Halted = true
+		m.crashed[p] = true
+		m.procFP[p] = ""
+	}
+	return nil
+}
+
+// Crashed reports whether processor p was halted by Crash (fault
+// injection) as opposed to halting on its own.
+func (m *Machine) Crashed(p int) bool { return m.crashed[p] }
+
+// DropLock forcibly clears variable v's lock bit without consuming a
+// schedule step — the fault model's lock-drop (a flaky lock service
+// releasing a lease it granted). The holder is not notified: a processor
+// that believes it holds the lock proceeds regardless, which is exactly
+// the hazard the dining fault sweep probes. Dropping an unheld lock is a
+// no-op.
+func (m *Machine) DropLock(v int) error {
+	if v < 0 || v >= len(m.locked) {
+		return fmt.Errorf("%w: %d", ErrBadVariable, v)
+	}
+	if m.locked[v] {
+		m.locked[v] = false
+		m.varFP[v] = ""
+	}
+	return nil
+}
+
+// Locked reports whether variable v's lock bit is set.
+func (m *Machine) Locked(v int) bool { return m.locked[v] }
 
 // ProcFingerprint returns a canonical encoding of processor p's state
 // (program counter + locals). Two processors "have the same state" in the
@@ -448,6 +556,7 @@ func (m *Machine) Clone() *Machine {
 		locked:  append([]bool(nil), m.locked...),
 		varSub:  make([]qVar, len(m.varSub)),
 		steps:   m.steps,
+		crashed: append([]bool(nil), m.crashed...),
 		procFP:  append([]string(nil), m.procFP...),
 		varFP:   append([]string(nil), m.varFP...),
 	}

@@ -123,7 +123,11 @@ func (n *Network) StronglyConnected() bool {
 	return reach(n.In()) == n.NumProcs()
 }
 
-// netStructure adapts a Network to partition.Structure.
+// netStructure adapts a Network to partition.Structure and
+// partition.TokenStructure. The production path is AppendSignature's
+// interned tokens (FixpointWorklist); the string Signature below is the
+// oracle path, kept only so FixpointNaive can cross-check the token
+// encoding on random networks (see the agreement test).
 type netStructure struct {
 	net      *Network
 	in       [][]int
@@ -133,6 +137,9 @@ type netStructure struct {
 func (s *netStructure) Len() int             { return s.net.NumProcs() }
 func (s *netStructure) InitKey(i int) string { return s.net.Init[i] }
 
+// Signature is the run-length string encoding of the in-neighbor label
+// multiset (counting) or set (overwrite) — the oracle spelling of
+// AppendSignature.
 func (s *netStructure) Signature(i int, label func(int) int) string {
 	labels := make([]int, 0, len(s.in[i]))
 	for _, p := range s.in[i] {

@@ -4,6 +4,8 @@ import (
 	"errors"
 	"math/rand"
 	"testing"
+
+	"simsym/internal/partition"
 )
 
 func TestDirectedRingAllSimilar(t *testing.T) {
@@ -332,6 +334,49 @@ func TestElectByFlooding(t *testing.T) {
 			first = leader
 		} else if leader != first {
 			t.Fatalf("leader depends on delivery schedule: %d vs %d", leader, first)
+		}
+	}
+}
+
+// TestTokenSignatureMatchesStringOracle cross-checks the interned token
+// path (netStructure.AppendSignature via FixpointWorklist, the
+// production driver) against the string-signature oracle (FixpointNaive)
+// on random networks, in both the counting and overwrite regimes. The
+// two encodings must induce the same refinement relation.
+func TestTokenSignatureMatchesStringOracle(t *testing.T) {
+	rng := rand.New(rand.NewSource(42))
+	for trial := 0; trial < 60; trial++ {
+		n := 2 + rng.Intn(14)
+		p := 0.1 + rng.Float64()*0.5
+		net, err := Random(rng, n, p, 1+rng.Intn(3))
+		if err != nil {
+			t.Fatalf("trial %d: %v", trial, err)
+		}
+		for _, counting := range []bool{true, false} {
+			st := &netStructure{net: net, in: net.In(), counting: counting}
+			fast, err := partition.FixpointWorklist(st)
+			if err != nil {
+				t.Fatalf("trial %d counting=%v: worklist: %v", trial, counting, err)
+			}
+			slow, err := partition.FixpointNaive(st)
+			if err != nil {
+				t.Fatalf("trial %d counting=%v: naive: %v", trial, counting, err)
+			}
+			if !partition.SameRelation(fast, slow) {
+				t.Fatalf("trial %d counting=%v: token path %v disagrees with string oracle %v",
+					trial, counting, fast.Canonical(), slow.Canonical())
+			}
+			got, err := Similarity(net, counting)
+			if err != nil {
+				t.Fatalf("trial %d counting=%v: Similarity: %v", trial, counting, err)
+			}
+			want := slow.Canonical()
+			for i := range got {
+				if got[i] != want[i] {
+					t.Fatalf("trial %d counting=%v: Similarity %v != oracle canonical %v",
+						trial, counting, got, want)
+				}
+			}
 		}
 	}
 }

@@ -90,22 +90,39 @@ func Concat(parts ...[]int) []int {
 // IsKBounded reports whether every window of k consecutive steps of the
 // schedule names every processor in 0..n-1 at least once. Windows that
 // run off the end of a finite schedule are not counted (a finite prefix
-// can always be extended fairly).
+// can always be extended fairly). Out-of-range entries consume window
+// slots but never count as coverage.
+//
+// A single sliding window of per-processor occurrence counts makes this
+// O(len(schedule)): each step enters the window once and leaves it once,
+// and a distinct-processor counter answers the coverage question per
+// window in O(1). (The obvious per-start rescan is O(len·k) and is kept
+// in the tests as the oracle.)
 func IsKBounded(schedule []int, n, k int) bool {
 	if k < n {
 		return false
 	}
-	for start := 0; start+k <= len(schedule); start++ {
-		seen := make([]bool, n)
-		count := 0
-		for i := start; i < start+k; i++ {
-			p := schedule[i]
-			if p >= 0 && p < n && !seen[p] {
-				seen[p] = true
-				count++
+	if len(schedule) < k {
+		return true
+	}
+	count := make([]int, n)
+	distinct := 0
+	for i, p := range schedule {
+		if p >= 0 && p < n {
+			count[p]++
+			if count[p] == 1 {
+				distinct++
 			}
 		}
-		if count != n {
+		if i >= k {
+			if q := schedule[i-k]; q >= 0 && q < n {
+				count[q]--
+				if count[q] == 0 {
+					distinct--
+				}
+			}
+		}
+		if i >= k-1 && distinct != n {
 			return false
 		}
 	}

@@ -156,3 +156,95 @@ func TestRoundRobinAlwaysKBoundedProperty(t *testing.T) {
 		t.Error(err)
 	}
 }
+
+// isKBoundedOracle is the original O(len·k) implementation: a fresh seen
+// set and full rescan per window start. Kept as the oracle the sliding
+// window implementation must agree with.
+func isKBoundedOracle(schedule []int, n, k int) bool {
+	if k < n {
+		return false
+	}
+	for start := 0; start+k <= len(schedule); start++ {
+		seen := make([]bool, n)
+		count := 0
+		for i := start; i < start+k; i++ {
+			p := schedule[i]
+			if p >= 0 && p < n && !seen[p] {
+				seen[p] = true
+				count++
+			}
+		}
+		if count != n {
+			return false
+		}
+	}
+	return true
+}
+
+func TestIsKBoundedAgreesWithOracle(t *testing.T) {
+	// Directed cases around the boundaries, then a quick.Check sweep.
+	cases := []struct {
+		schedule []int
+		n, k     int
+	}{
+		{nil, 1, 1},
+		{[]int{0}, 2, 5},
+		{[]int{0, 1, 0, 1}, 2, 2},
+		{[]int{0, 1, 1, 0}, 2, 2},
+		{[]int{0, 7, 1}, 2, 3},
+		{[]int{0, -3, 1, 0, 1}, 2, 3},
+	}
+	for _, c := range cases {
+		if got, want := IsKBounded(c.schedule, c.n, c.k), isKBoundedOracle(c.schedule, c.n, c.k); got != want {
+			t.Errorf("IsKBounded(%v, %d, %d) = %v, oracle %v", c.schedule, c.n, c.k, got, want)
+		}
+	}
+	rng := rand.New(rand.NewSource(7))
+	f := func(raw []byte, n8, k8 uint8) bool {
+		n := 1 + int(n8)%5
+		k := int(k8) % 12
+		schedule := make([]int, len(raw))
+		for i, b := range raw {
+			// Mostly in range, occasionally junk (negative or >= n).
+			schedule[i] = int(b)%(n+2) - 1
+		}
+		return IsKBounded(schedule, n, k) == isKBoundedOracle(schedule, n, k)
+	}
+	cfg := &quick.Config{MaxCount: 2000, Rand: rng}
+	if err := quick.Check(f, cfg); err != nil {
+		t.Error(err)
+	}
+}
+
+// benchKBoundedInput is an E-series-sized schedule: shuffled rounds over
+// a 6-processor table, which is what the experiment sweeps classify.
+func benchKBoundedInput() ([]int, int, int) {
+	rng := rand.New(rand.NewSource(1))
+	s, err := ShuffledRounds(rng, 6, 2000)
+	if err != nil {
+		panic(err)
+	}
+	return s, 6, 11
+}
+
+func BenchmarkIsKBoundedSliding(b *testing.B) {
+	s, n, k := benchKBoundedInput()
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if !IsKBounded(s, n, k) {
+			b.Fatal("schedule should be (2n-1)-bounded")
+		}
+	}
+}
+
+func BenchmarkIsKBoundedOracle(b *testing.B) {
+	s, n, k := benchKBoundedInput()
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if !isKBoundedOracle(s, n, k) {
+			b.Fatal("schedule should be (2n-1)-bounded")
+		}
+	}
+}

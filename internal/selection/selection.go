@@ -295,3 +295,22 @@ func Select(sys *system.System, instr system.InstrSet, sch system.ScheduleClass)
 		return nil, nil, fmt.Errorf("%w: Select for %v", ErrUnsupportedModel, instr)
 	}
 }
+
+// Settled reports whether a SELECT run has converged: every processor has
+// halted or declared itself done, and exactly one processor is selected.
+// The Q and L programs halt outright; the S program never halts (resolved
+// processors refresh their posts forever, as the paper's bounded-fair
+// construction requires) and signals completion through the "done" local
+// instead. This is the convergence predicate for streaming adversary
+// harnesses, which cannot rely on AllHalted.
+func Settled(m *machine.Machine) bool {
+	for p := 0; p < m.NumProcs(); p++ {
+		if m.Halted(p) {
+			continue
+		}
+		if d, ok := m.Local(p, "done"); !ok || d != true {
+			return false
+		}
+	}
+	return len(m.SelectedProcs()) == 1
+}

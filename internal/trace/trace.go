@@ -146,9 +146,13 @@ func EventuallySelectsTwo(sys *system.System, instr system.InstrSet, prog *machi
 			if err := m.Step(p); err != nil {
 				return false, fmt.Errorf("trace: %w", err)
 			}
-		}
-		if len(m.SelectedProcs()) >= 2 {
-			return true, nil
+			// Check after every step, not just at round boundaries: a
+			// double selection can appear and resolve within one round
+			// (one twin selecting before the other deselects), which a
+			// boundary-only check never sees.
+			if len(m.SelectedProcs()) >= 2 {
+				return true, nil
+			}
 		}
 		if m.AllHalted() {
 			break

@@ -191,3 +191,40 @@ func TestClassSortedRoundGroupsClasses(t *testing.T) {
 		t.Errorf("similar processors not adjacent in round: %v", round)
 	}
 }
+
+// TestEventuallySelectsTwoMidRound is the regression test for the
+// round-boundary blind spot: the double selection exists only between
+// two steps of one round (the earlier-scheduled processor selects before
+// the other deselects), so a check that inspects SelectedProcs only at
+// round boundaries never sees it.
+func TestEventuallySelectsTwoMidRound(t *testing.T) {
+	s := system.Fig1().Clone()
+	s.ProcInit[1] = "1" // mark p1 so the uniform program can phase-shift it
+	// Labels put p1 first in the class-sorted round, so within a round
+	// p1's selection lands while p0 is still selected, and p0's
+	// deselection closes the window before the boundary.
+	lab := &core.Labeling{Sys: s, ProcLabels: []int{1, 0}, VarLabels: []int{0}}
+	b := machine.NewBuilder()
+	b.JumpIf(func(loc machine.Locals) bool { return loc["init"] == "1" }, "late")
+	b.Compute(func(loc machine.Locals) { loc["selected"] = true })  // p0, round 2
+	b.Compute(func(loc machine.Locals) { loc["selected"] = false }) // p0, round 3
+	b.Halt()
+	b.Label("late")
+	b.Compute(func(machine.Locals) {})                              // p1, round 2
+	b.Compute(func(loc machine.Locals) { loc["selected"] = true })  // p1, round 3
+	b.Compute(func(loc machine.Locals) { loc["selected"] = false }) // p1, round 4
+	b.Halt()
+	prog, err := b.Build()
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Round 3 runs p1 (select: both selected now) then p0 (deselect):
+	// every boundary and the final state have at most one selected.
+	two, err := EventuallySelectsTwo(s, system.InstrS, prog, lab, 10)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !two {
+		t.Fatal("mid-round double selection missed: EventuallySelectsTwo is only checking round boundaries")
+	}
+}
