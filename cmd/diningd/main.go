@@ -19,6 +19,9 @@ import (
 
 	"simsym/internal/adversary"
 	"simsym/internal/dining"
+	"simsym/internal/mc"
+	"simsym/internal/obs"
+	"simsym/internal/obsflag"
 	"simsym/internal/randomized"
 	"simsym/internal/system"
 )
@@ -42,7 +45,12 @@ func run(args []string, out io.Writer) error {
 	seed := fs.Int64("seed", 1, "random seed")
 	faults := fs.String("faults", "", "comma-separated fault classes to inject: crash, stall, lockdrop")
 	replay := fs.Bool("replay", false, "replay the fault-injected run's trace and verify it is byte-identical")
+	obsFlags := obsflag.Register(fs)
 	if err := fs.Parse(args); err != nil {
+		return err
+	}
+	rec, err := obsFlags.Recorder()
+	if err != nil {
 		return err
 	}
 
@@ -56,11 +64,10 @@ func run(args []string, out io.Writer) error {
 		for p, m := range res.Meals {
 			fmt.Fprintf(out, "  philosopher %d ate %d times\n", p, m)
 		}
-		return nil
+		return obsFlags.Close(out)
 	}
 
 	var sys *system.System
-	var err error
 	if *flipped {
 		sys, err = system.DiningFlipped(*n)
 	} else {
@@ -95,13 +102,13 @@ func run(args []string, out io.Writer) error {
 	}
 
 	if *faults != "" {
-		if err := runFaulted(out, sys, *meals, *faults, *seed, *replay); err != nil {
+		if err := runFaulted(out, sys, *meals, *faults, *seed, *replay, rec); err != nil {
 			return err
 		}
 	}
 
 	if *check {
-		rep, err := dining.Check(sys, oneMeal, *maxStates)
+		rep, err := dining.CheckWith(sys, oneMeal, mc.Options{MaxStates: *maxStates, Obs: rec})
 		if err != nil {
 			return err
 		}
@@ -117,14 +124,14 @@ func run(args []string, out io.Writer) error {
 			fmt.Fprintln(out, "  no deadlock found")
 		}
 	}
-	return nil
+	return obsFlags.Close(out)
 }
 
 // runFaulted drives the table through the adversary harness with seeded
 // fault injection: crashes and stalls must never break exclusion (they
 // only cost progress), while lock-drop attacks the locking assumption
 // itself and may surface a replayable exclusion violation.
-func runFaulted(out io.Writer, sys *system.System, meals int, faults string, seed int64, replay bool) error {
+func runFaulted(out io.Writer, sys *system.System, meals int, faults string, seed int64, replay bool, rec *obs.Recorder) error {
 	spec, err := adversary.ParseSpec(faults, seed)
 	if err != nil {
 		return err
@@ -136,6 +143,7 @@ func runFaulted(out io.Writer, sys *system.System, meals int, faults string, see
 	}
 	h.Faults = adversary.NewFaults(spec, sys.NumProcs(), sys.NumVars())
 	h.MaxSlots = 20000
+	h.Obs = rec
 	res, err := h.Run()
 	if err != nil {
 		return err

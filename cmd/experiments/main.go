@@ -19,6 +19,7 @@ import (
 
 	"simsym/internal/experiments"
 	"simsym/internal/mc"
+	"simsym/internal/obsflag"
 )
 
 // registry lists the experiments in order with their default parameters.
@@ -56,9 +57,15 @@ func run(args []string, out io.Writer) error {
 	fs := flag.NewFlagSet("experiments", flag.ContinueOnError)
 	only := fs.String("only", "", "run a single experiment (E1..E15)")
 	progress := fs.Bool("progress", false, "stream model-checker progress snapshots to stderr")
+	obsFlags := obsflag.Register(fs)
 	if err := fs.Parse(args); err != nil {
 		return err
 	}
+	rec, err := obsFlags.Recorder()
+	if err != nil {
+		return err
+	}
+	experiments.Obs = rec
 	if *progress {
 		experiments.MCProgress = func(s mc.Stats) {
 			fmt.Fprintf(os.Stderr, "\rmc: %d states, depth %d, %.0f states/s, %d dedup hits ",
@@ -81,5 +88,5 @@ func run(args []string, out io.Writer) error {
 	if printed == 0 {
 		return fmt.Errorf("unknown experiment %q", *only)
 	}
-	return nil
+	return obsFlags.Close(out)
 }

@@ -19,6 +19,8 @@ import (
 	"simsym/internal/adversary"
 	"simsym/internal/machine"
 	"simsym/internal/mc"
+	"simsym/internal/obs"
+	"simsym/internal/obsflag"
 	"simsym/internal/sched"
 	"simsym/internal/selection"
 	"simsym/internal/sysdsl"
@@ -44,7 +46,12 @@ func run(args []string, out io.Writer) error {
 	faults := fs.String("faults", "", "comma-separated fault classes to inject: crash, stall, lockdrop")
 	seed := fs.Int64("seed", 1, "seed for the fault-injected run (schedule and fault streams)")
 	replay := fs.Bool("replay", false, "replay the fault-injected run's trace and verify it is byte-identical")
+	obsFlags := obsflag.Register(fs)
 	if err := fs.Parse(args); err != nil {
+		return err
+	}
+	rec, err := obsFlags.Recorder()
+	if err != nil {
 		return err
 	}
 
@@ -61,7 +68,7 @@ func run(args []string, out io.Writer) error {
 		return err
 	}
 
-	d, err := selection.Decide(sys, is, sc)
+	d, err := selection.DecideWith(sys, is, sc, rec)
 	if err != nil {
 		return err
 	}
@@ -75,10 +82,10 @@ func run(args []string, out io.Writer) error {
 		fmt.Fprintf(out, "ELITE: %v over %d versions\n", d.Elite, d.NumVersions)
 	}
 	if !d.Solvable || (is != system.InstrQ && is != system.InstrL) {
-		return nil
+		return obsFlags.Close(out)
 	}
 
-	prog, _, err := selection.Select(sys, is, sc)
+	prog, _, err := selection.SelectWith(sys, is, sc, rec)
 	if err != nil {
 		return err
 	}
@@ -87,6 +94,7 @@ func run(args []string, out io.Writer) error {
 		if err != nil {
 			return err
 		}
+		m.Observe(rec)
 		rng := rand.New(rand.NewSource(int64(seed)))
 		rounds := 0
 		for !m.AllHalted() && rounds < 5000 {
@@ -110,7 +118,7 @@ func run(args []string, out io.Writer) error {
 	}
 
 	if *faults != "" {
-		if err := runFaulted(out, sys, is, sc, *faults, *seed, *replay); err != nil {
+		if err := runFaulted(out, sys, is, sc, *faults, *seed, *replay, rec); err != nil {
 			return err
 		}
 	}
@@ -122,10 +130,11 @@ func run(args []string, out io.Writer) error {
 			MaxStates:  *maxStates,
 			StatePreds: []mc.StatePredicate{mc.UniquenessPred},
 			TransPreds: []mc.TransitionPredicate{mc.StabilityPred},
+			Obs:        rec,
 		})
 		if err != nil {
 			fmt.Fprintf(out, "verification: inconclusive (%v)\n", err)
-			return nil
+			return obsFlags.Close(out)
 		}
 		if res.Violation != nil {
 			fmt.Fprintf(out, "verification: VIOLATION %s (schedule %v)\n",
@@ -135,13 +144,13 @@ func run(args []string, out io.Writer) error {
 				res.StatesExplored, res.Complete)
 		}
 	}
-	return nil
+	return obsFlags.Close(out)
 }
 
 // runFaulted drives the SELECT program through the adversary harness
 // with seeded fault injection, reporting convergence and any invariant
 // violation, and optionally proving the trace replays byte-identically.
-func runFaulted(out io.Writer, sys *system.System, is system.InstrSet, sc system.ScheduleClass, faults string, seed int64, replay bool) error {
+func runFaulted(out io.Writer, sys *system.System, is system.InstrSet, sc system.ScheduleClass, faults string, seed int64, replay bool, rec *obs.Recorder) error {
 	spec, err := adversary.ParseSpec(faults, seed)
 	if err != nil {
 		return err
@@ -152,6 +161,7 @@ func runFaulted(out io.Writer, sys *system.System, is system.InstrSet, sc system
 		return err
 	}
 	h.Faults = adversary.NewFaults(spec, sys.NumProcs(), sys.NumVars())
+	h.Obs = rec
 	res, err := h.Run()
 	if err != nil {
 		return err

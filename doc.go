@@ -1,0 +1,77 @@
+// Package simsym is a library companion to Johnson & Schneider,
+// "Symmetry and Similarity in Distributed Systems" (PODC 1985).
+//
+// It models anonymous concurrent systems — processors connected to shared
+// variables through local names — and implements the paper's theory end
+// to end: similarity labelings (Algorithm 1) under the S, L, and Q
+// instruction sets; the distributed label-learning programs (Algorithms 2
+// and 3); the selection problem's decision procedures and the SELECT /
+// Algorithm 4 constructions; graph-theoretic symmetry and Theorems 10–11;
+// the Dining Philosophers results DP and DP'; message-passing and CSP
+// transfers; and the randomized symmetry breakers of section 8. A small
+// VM executes the generated programs one atomic step at a time, and an
+// explicit-state model checker verifies Uniqueness, Stability, exclusion,
+// and deadlock-freedom over every schedule.
+//
+// This package is the public facade: it re-exports the stable surface of
+// the internal packages so downstream users never import simsym/internal.
+//
+// Quick start:
+//
+//	sys, _ := simsym.Ring(5)
+//	lab, _ := simsym.Similarity(sys, simsym.RuleQ)
+//	fmt.Println(lab)                       // one class: all similar
+//	d, _ := simsym.Decide(sys, simsym.InstrL, simsym.SchedFair)
+//	fmt.Println(d.Solvable, d.Reason)      // false: rings stay anonymous
+//
+// # Options and observability
+//
+// Every entry point has an options-based variant — SimilarityOpts,
+// DecideOpts, BuildSelectOpts, CheckOpts, CheckDiningOpts, RunFair —
+// configured with functional options:
+//
+//	rec := simsym.NewRecorder(simsym.NewEventRing(0))
+//	rep, err := simsym.CheckOpts(sys, simsym.InstrL, prog,
+//	    simsym.WithObserver(rec),
+//	    simsym.WithBudget(500_000, 30*time.Second, 1<<30),
+//	    simsym.WithWorkers(4),
+//	    simsym.WithSymmetry(true),
+//	    simsym.WithContext(ctx))
+//
+// The observer receives typed, deterministic events (phase boundaries,
+// refinement rounds, state expansions, scheduler steps, fault
+// injections, verdicts) through a pluggable sink — an in-memory ring
+// (NewEventRing), a JSONL stream (NewJSONLSink), or any EventSink — and
+// aggregates counters and latency histograms in a metrics registry
+// (Recorder.Metrics) renderable in Prometheus text format. A nil
+// observer costs one pointer check on the hot paths.
+//
+// # Migrating from the positional API
+//
+// The original positional functions remain and now delegate to the
+// options-based variants, so existing code keeps compiling and behaving
+// identically:
+//
+//	lab, err := simsym.Similarity(sys, simsym.RuleQ)
+//	// is exactly
+//	lab, err := simsym.SimilarityOpts(sys, simsym.RuleQ)
+//
+//	d, err := simsym.Decide(sys, instr, sch)
+//	// is exactly
+//	d, err := simsym.DecideOpts(sys, instr, sch)
+//
+//	safe, complete, err := simsym.CheckSelectionSafety(sys, instr, prog, 100_000)
+//	// becomes the richer
+//	rep, err := simsym.CheckOpts(sys, instr, prog, simsym.WithMaxStates(100_000))
+//	// with safe == rep.Safe, complete == rep.Complete, plus the witness
+//	// schedule, the exhausted budget, and the engine statistics.
+//
+//	report, err := simsym.CheckDining(sys, prog, 60_000)
+//	// becomes
+//	report, err := simsym.CheckDiningOpts(sys, prog, simsym.WithMaxStates(60_000))
+//
+// Facade helpers validate their arguments and report violations with
+// errors wrapping ErrBadArgs:
+//
+//	if _, err := simsym.Ring(0); errors.Is(err, simsym.ErrBadArgs) { ... }
+package simsym

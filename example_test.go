@@ -1,0 +1,57 @@
+package simsym_test
+
+import (
+	"fmt"
+
+	"simsym"
+)
+
+// The options-based API threads an observer through a whole decision:
+// the event stream shows the phases and refinement work, the metrics
+// registry aggregates counters. The positional Decide is the same call
+// without options.
+func ExampleDecideOpts() {
+	sys, _ := simsym.Ring(6)
+	sys.ProcInit[0] = "leader" // break the symmetry
+
+	ring := simsym.NewEventRing(0)
+	rec := simsym.NewRecorder(ring)
+	d, err := simsym.DecideOpts(sys, simsym.InstrQ, simsym.SchedFair,
+		simsym.WithObserver(rec))
+	if err != nil {
+		panic(err)
+	}
+	fmt.Println("solvable:", d.Solvable)
+
+	kinds := ring.CountByKind()
+	fmt.Println("distinct event kinds:", len(kinds) >= 5)
+	fmt.Println("refine rounds counted:",
+		rec.Metrics().Counter("core.refine_rounds").Value() > 0)
+	// Output:
+	// solvable: true
+	// distinct event kinds: true
+	// refine rounds counted: true
+}
+
+// CheckOpts subsumes the deprecated CheckSelectionSafety: budgets,
+// symmetry reduction, and parallelism ride in through options, and the
+// report carries the witness schedule and engine statistics.
+func ExampleCheckOpts() {
+	sys := simsym.Fig1()
+	prog, _, err := simsym.BuildSelect(sys, simsym.InstrL, simsym.SchedFair)
+	if err != nil {
+		panic(err)
+	}
+	rep, err := simsym.CheckOpts(sys, simsym.InstrL, prog,
+		simsym.WithMaxStates(50_000))
+	if err != nil {
+		panic(err)
+	}
+	fmt.Println("safe:", rep.Safe)
+	fmt.Println("exhausted:", rep.Exhausted) // bounded evidence, not proof
+	fmt.Println("states:", rep.StatesExplored)
+	// Output:
+	// safe: true
+	// exhausted: states
+	// states: 50000
+}

@@ -8,6 +8,7 @@ import (
 	"simsym/internal/family"
 	"simsym/internal/machine"
 	"simsym/internal/mc"
+	"simsym/internal/obs"
 	"simsym/internal/selection"
 	"simsym/internal/system"
 )
@@ -25,13 +26,13 @@ type Violation struct {
 // over the same program must reproduce an Equal Result — the determinism
 // tests and the -replay CLI flags enforce exactly that.
 type Result struct {
-	Schedule []int   // every slot's scheduled processor, in order
-	FaultLog []Event // every fault that fired, in slot order
-	Steps    int     // steps actually executed (slots minus skips/stutters)
-	Slots    int     // schedule slots consumed
-	Done     bool    // the harness's convergence predicate held
-	Halted   bool    // every processor halted (voluntarily or crashed)
-	Violation *Violation
+	Schedule    []int   // every slot's scheduled processor, in order
+	FaultLog    []Event // every fault that fired, in slot order
+	Steps       int     // steps actually executed (slots minus skips/stutters)
+	Slots       int     // schedule slots consumed
+	Done        bool    // the harness's convergence predicate held
+	Halted      bool    // every processor halted (voluntarily or crashed)
+	Violation   *Violation
 	Fingerprint string // final machine.Fingerprint()
 
 	// Final is the machine in its final state, for callers that want to
@@ -108,6 +109,13 @@ type Harness struct {
 	// Done is the convergence predicate, checked before every slot and
 	// once more at the end.
 	Done func(m *machine.Machine) bool
+
+	// Obs, when non-nil, receives structured events: a harness.run phase,
+	// one KindSchedStep event per schedule slot (stepped=false for stalls
+	// and burned slots), one KindFault event per fault-log entry, and the
+	// final verdict. The stream is a deterministic function of the run, so
+	// replayed runs produce identical event streams.
+	Obs *obs.Recorder
 }
 
 const defaultMaxSlots = 10000
@@ -126,6 +134,7 @@ func (h *Harness) Run() (*Result, error) {
 		budget = defaultMaxSlots
 	}
 	res := &Result{}
+	h.Obs.PhaseStart("harness.run")
 	finish := func() (*Result, error) {
 		res.Halted = m.AllHalted()
 		if !res.Done && res.Violation == nil && h.Done != nil {
@@ -133,6 +142,21 @@ func (h *Harness) Run() (*Result, error) {
 		}
 		res.Fingerprint = m.Fingerprint()
 		res.Final = m
+		if h.Obs.Enabled() {
+			h.Obs.Count("harness.runs", 1)
+			h.Obs.Count("harness.slots", int64(res.Slots))
+			h.Obs.Count("harness.steps", int64(res.Steps))
+			h.Obs.Count("harness.faults", int64(len(res.FaultLog)))
+			detail := "converged"
+			switch {
+			case res.Violation != nil:
+				detail = res.Violation.Reason
+			case !res.Done:
+				detail = "run ended without convergence"
+			}
+			h.Obs.Verdict("harness.run", res.Violation == nil, detail)
+			h.Obs.PhaseEnd("harness.run", int64(res.Slots))
+		}
 		return res, nil
 	}
 	for res.Slots < budget {
@@ -156,6 +180,11 @@ func (h *Harness) Run() (*Result, error) {
 			skip, evs = h.Faults.Apply(slot, pick, m)
 			if len(evs) > 0 {
 				res.FaultLog = append(res.FaultLog, evs...)
+				if h.Obs.Enabled() {
+					for _, ev := range evs {
+						h.Obs.Fault(ev.Kind.String(), ev.Slot, ev.Target)
+					}
+				}
 				if v := h.checkState(m, slot, res.Steps); v != nil {
 					res.Violation = v
 					return finish()
@@ -163,6 +192,7 @@ func (h *Harness) Run() (*Result, error) {
 			}
 		}
 		if skip {
+			h.Obs.SchedStep(slot, pick, false)
 			continue
 		}
 		var before *machine.Machine
@@ -173,6 +203,7 @@ func (h *Harness) Run() (*Result, error) {
 		if err != nil {
 			return nil, err
 		}
+		h.Obs.SchedStep(slot, pick, stepped)
 		if !stepped {
 			continue // halted/crashed pick: the slot is burned, nothing moved
 		}

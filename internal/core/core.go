@@ -31,7 +31,9 @@ import (
 	"sort"
 	"strconv"
 	"strings"
+	"time"
 
+	"simsym/internal/obs"
 	"simsym/internal/partition"
 	"simsym/internal/system"
 )
@@ -270,26 +272,26 @@ func fromPartition(sys *system.System, p *partition.Partition) *Labeling {
 	return lab
 }
 
+// Config carries the optional knobs of a similarity computation: the
+// signature-pass worker count (0 or 1 means sequential) and an event
+// recorder for per-round refinement observability. The zero Config is
+// the default sequential, unobserved run.
+type Config struct {
+	// Workers > 1 fans the signature pass over that many goroutines
+	// (deterministic; see SimilarityParallel).
+	Workers int
+	// Obs receives phase, refine-round, and stat events plus the
+	// core.* counters; nil records nothing.
+	Obs *obs.Recorder
+}
+
 // Similarity computes the similarity labeling Θ of sys under the given
 // environment rule. The counting rule (Q) uses the Hopcroft smaller-half
 // driver — Theorem 5's O(n log n) algorithm; the set rule, for which the
 // smaller-half trick is unsound (a tag present in a class may live only
 // in the split-off part), uses the worklist driver.
 func Similarity(sys *system.System, rule Rule) (*Labeling, error) {
-	st, err := newStructure(sys, rule)
-	if err != nil {
-		return nil, err
-	}
-	var p *partition.Partition
-	if rule == RuleQ {
-		p, err = partition.FixpointHopcroft(st)
-	} else {
-		p, err = partition.FixpointWorklist(st)
-	}
-	if err != nil {
-		return nil, fmt.Errorf("core: refining: %w", err)
-	}
-	return fromPartition(sys, p), nil
+	return SimilarityWith(sys, rule, Config{})
 }
 
 // SimilarityParallel computes the same labeling as Similarity with the
@@ -299,20 +301,57 @@ func Similarity(sys *system.System, rule Rule) (*Labeling, error) {
 // identical to Similarity; opt in where single-core signature encoding
 // dominates (the 65k-node tier of BenchmarkExp6Scaling).
 func SimilarityParallel(sys *system.System, rule Rule, workers int) (*Labeling, error) {
+	return SimilarityWith(sys, rule, Config{Workers: workers})
+}
+
+// SimilarityWith is Similarity with full Config control. When cfg.Obs
+// is recording it emits a core.similarity phase wrapping one
+// KindRefineRound event per refinement round (worklist) or carving
+// splitter (Hopcroft), final class-count stats, and the core.* counters
+// and latency histogram; with a nil recorder the instrumentation
+// reduces to one branch per round.
+func SimilarityWith(sys *system.System, rule Rule, cfg Config) (*Labeling, error) {
 	st, err := newStructure(sys, rule)
 	if err != nil {
 		return nil, err
 	}
+	rec := cfg.Obs
+	var hook partition.RoundHook
+	var rounds, splits int
+	var started time.Time
+	if rec.Enabled() {
+		driver := "worklist"
+		if rule == RuleQ {
+			driver = "hopcroft"
+		}
+		rec.PhaseStart("core.similarity")
+		started = time.Now()
+		hook = func(round, classes, split int) {
+			rounds = round
+			splits += split
+			rec.RefineRound(driver, round, classes, split)
+		}
+	}
 	var p *partition.Partition
 	if rule == RuleQ {
-		p, err = partition.FixpointHopcroftParallel(st, workers)
+		p, err = partition.FixpointHopcroftHooked(st, cfg.Workers, hook)
 	} else {
-		p, err = partition.FixpointWorklistParallel(st, workers)
+		p, err = partition.FixpointWorklistHooked(st, cfg.Workers, hook)
 	}
 	if err != nil {
 		return nil, fmt.Errorf("core: refining: %w", err)
 	}
-	return fromPartition(sys, p), nil
+	lab := fromPartition(sys, p)
+	if rec.Enabled() {
+		rec.Stat("core.proc_classes", int64(lab.NumProcClasses()))
+		rec.Stat("core.var_classes", int64(lab.NumVarClasses()))
+		rec.Count("core.similarity_runs", 1)
+		rec.Count("core.refine_rounds", int64(rounds))
+		rec.Count("core.class_splits", int64(splits))
+		rec.Observe("core.similarity", time.Since(started))
+		rec.PhaseEnd("core.similarity", int64(rounds))
+	}
+	return lab, nil
 }
 
 // SimilarityWorklist computes the Q labeling with the worklist driver;

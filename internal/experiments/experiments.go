@@ -15,6 +15,7 @@ import (
 	"simsym/internal/mc"
 	"simsym/internal/mimic"
 	"simsym/internal/msgpass"
+	"simsym/internal/obs"
 	"simsym/internal/randomized"
 	"simsym/internal/sched"
 	"simsym/internal/selection"
@@ -26,6 +27,13 @@ import (
 // progress snapshots during the long-running checks (E5, E13). The
 // experiments command wires it to stderr behind -progress.
 var MCProgress func(mc.Stats)
+
+// Obs, when non-nil, receives the structured event stream and feeds the
+// metrics registry for the model checks and similarity labelings inside
+// the experiments. The experiments command wires it behind -metrics,
+// -trace-jsonl, and -pprof; nil (the default) keeps every hot path on
+// the one-branch no-op.
+var Obs *obs.Recorder
 
 // E1Fig1 reproduces Figure 1 / Theorem 2: the two processors sharing one
 // variable are similar, random programs keep them in lock step under
@@ -253,7 +261,7 @@ func E5DP6(maxStates int) (*Table, error) {
 	t.AddRow("|Aut|", fmt.Sprint(o.GroupOrder))
 	t.AddRow("philosopher orbits", fmt.Sprint(len(o.ProcClasses())))
 	t.AddRow("fork orbits", fmt.Sprint(len(o.VarClasses())))
-	lab, err := core.Similarity(s, core.RuleQ)
+	lab, err := core.SimilarityWith(s, core.RuleQ, core.Config{Obs: Obs})
 	if err != nil {
 		return nil, err
 	}
@@ -267,6 +275,7 @@ func E5DP6(maxStates int) (*Table, error) {
 	rep, err := dining.CheckWith(s, prog, mc.Options{
 		MaxStates: maxStates,
 		Progress:  MCProgress,
+		Obs:       Obs,
 	})
 	if err != nil {
 		return nil, err
@@ -298,7 +307,11 @@ func E5DP6(maxStates int) (*Table, error) {
 	if err != nil {
 		return nil, err
 	}
-	rep4, err := dining.Check(s4, prog, maxStates)
+	rep4, err := dining.CheckWith(s4, prog, mc.Options{
+		MaxStates: maxStates,
+		Progress:  MCProgress,
+		Obs:       Obs,
+	})
 	if err != nil {
 		return nil, err
 	}
@@ -313,6 +326,7 @@ func E5DP6(maxStates int) (*Table, error) {
 		MaxStates:      maxStates,
 		SymmetryReduce: true,
 		Progress:       MCProgress,
+		Obs:            Obs,
 	})
 	if err != nil {
 		return nil, err
@@ -434,7 +448,7 @@ func E7FLP() (*Table, error) {
 	}
 	res, err := mc.Check(func() (*machine.Machine, error) {
 		return machine.New(s, system.InstrS, prog)
-	}, mc.Options{StatePreds: []mc.StatePredicate{mc.UniquenessPred}})
+	}, mc.Options{StatePreds: []mc.StatePredicate{mc.UniquenessPred}, Obs: Obs})
 	if err != nil {
 		return nil, err
 	}

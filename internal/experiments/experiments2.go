@@ -96,6 +96,7 @@ func E13Encapsulated() (*Table, error) {
 		MaxStates: 10_000,
 		Partial:   true,
 		Progress:  MCProgress,
+		Obs:       Obs,
 	})
 	if err != nil {
 		return nil, err

@@ -7,6 +7,7 @@ import (
 	"sort"
 
 	"simsym/internal/canon"
+	"simsym/internal/obs"
 	"simsym/internal/system"
 )
 
@@ -61,6 +62,12 @@ type Machine struct {
 	// checker's hot path) incremental. Empty string means stale.
 	procFP []string
 	varFP  []string
+
+	// rec, when non-nil, observes streamed execution: RunWith emits one
+	// KindSchedStep event per executed step and a machine.steps counter.
+	// Step itself is never instrumented — it is the model checker's inner
+	// loop, where even a nil check per step would be measurable.
+	rec *obs.Recorder
 }
 
 // New initializes a machine: every processor at PC 0 with locals
@@ -96,6 +103,11 @@ func New(sys *system.System, instr system.InstrSet, program *Program) (*Machine,
 	}
 	return m, nil
 }
+
+// Observe attaches an event recorder to streamed execution (RunWith). A
+// nil recorder detaches. Clones inherit the recorder, so an observed
+// machine's probe clones stay observed unless explicitly detached.
+func (m *Machine) Observe(rec *obs.Recorder) { m.rec = rec }
 
 // System returns the underlying system.
 func (m *Machine) System() *system.System { return m.sys }
@@ -315,19 +327,27 @@ func (s *sliceScheduler) Next(*Machine) (int, bool) {
 // finite precomputed schedules.
 func (m *Machine) RunWith(s Scheduler) (int, error) {
 	done := 0
+	var err error
 	for {
 		if m.AllHalted() {
-			return done, nil
+			break
 		}
 		p, ok := s.Next(m)
 		if !ok {
-			return done, nil
+			break
 		}
-		if err := m.Step(p); err != nil {
-			return done, err
+		if err = m.Step(p); err != nil {
+			break
+		}
+		if m.rec.Enabled() {
+			m.rec.SchedStep(done, p, true)
 		}
 		done++
 	}
+	if m.rec.Enabled() && done > 0 {
+		m.rec.Count("machine.steps", int64(done))
+	}
+	return done, err
 }
 
 // Run executes the schedule (a sequence of processor indices) from the
@@ -559,6 +579,7 @@ func (m *Machine) Clone() *Machine {
 		crashed: append([]bool(nil), m.crashed...),
 		procFP:  append([]string(nil), m.procFP...),
 		varFP:   append([]string(nil), m.varFP...),
+		rec:     m.rec,
 	}
 	// Locals and subvalue maps are copy-on-write (every mutating
 	// instruction replaces the map before writing), so clones can share

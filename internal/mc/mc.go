@@ -34,12 +34,14 @@ package mc
 
 import (
 	"bytes"
+	"context"
 	"errors"
 	"fmt"
 	"time"
 
 	"simsym/internal/autgrp"
 	"simsym/internal/machine"
+	"simsym/internal/obs"
 	"simsym/internal/system"
 )
 
@@ -98,6 +100,16 @@ type Options struct {
 	// ProgressEvery is the state interval between Progress callbacks;
 	// 0 means the default (16384).
 	ProgressEvery int
+	// Obs, when non-nil, receives structured events and metrics: an
+	// mc.check phase, one KindStateExpansion event per completed BFS
+	// level, counters mirroring Stats, and the final verdict. Events are
+	// deterministic (no wall-clock payloads); durations go to the
+	// mc.check histogram only. A nil recorder costs one pointer check.
+	Obs *obs.Recorder
+	// Ctx, when non-nil, cancels exploration: cancellation is treated as
+	// an exhausted budget (Exhausted="canceled"), degrading into a
+	// partial Result under Options.Partial like any other budget.
+	Ctx context.Context
 	// States are violations when any StatePredicate flags them.
 	StatePreds []StatePredicate
 	// Transitions are violations when any TransitionPredicate flags them.
@@ -164,7 +176,7 @@ type Result struct {
 	// within budget, making the absence of violations a proof.
 	Complete bool
 	// Exhausted names the budget that ended an incomplete exploration:
-	// "states", "time", or "memory"; empty otherwise.
+	// "states", "time", "memory", or "canceled"; empty otherwise.
 	Exhausted string
 	// Violation is nil if no predicate fired.
 	Violation *Violation
@@ -265,6 +277,7 @@ func Check(factory func() (*machine.Machine, error), opts Options) (*Result, err
 
 	// Root. The initial state is fixed by every automorphism (they
 	// preserve initial values), but canonicalize anyway for uniformity.
+	opts.Obs.PhaseStart("mc.check")
 	rootKey := m0.AppendStateKey(nil, nil, nil)
 	if len(c.perms) > 0 {
 		cand := make([]byte, 0, len(rootKey))
@@ -302,6 +315,9 @@ func Check(factory func() (*machine.Machine, error), opts Options) (*Result, err
 		if done {
 			return c.finish(err)
 		}
+		if opts.Obs.Enabled() {
+			opts.Obs.StateExpansion("mc", c.res.StatesExplored, c.stats.Depth, c.stats.Transitions)
+		}
 		c.level, c.next = c.next, c.level[:0]
 		c.levelIdx, c.nextIdx = c.nextIdx, c.levelIdx[:0]
 	}
@@ -331,6 +347,25 @@ func (c *checker) finish(err error) (*Result, error) {
 	}
 	if c.opts.Progress != nil {
 		c.opts.Progress(*c.stats)
+	}
+	if rec := c.opts.Obs; rec.Enabled() {
+		rec.Count("mc.checks", 1)
+		rec.Count("mc.states", int64(c.res.StatesExplored))
+		rec.Count("mc.transitions", c.stats.Transitions)
+		rec.Count("mc.dedup_hits", c.stats.DedupHits)
+		rec.Count("mc.self_loops", c.stats.SelfLoops)
+		rec.Stat("mc.depth", int64(c.stats.Depth))
+		rec.Stat("mc.peak_frontier", int64(c.stats.PeakFrontier))
+		rec.Observe("mc.check", c.stats.Elapsed)
+		detail := "state space closed"
+		switch {
+		case c.res.Violation != nil:
+			detail = c.res.Violation.Reason
+		case c.res.Exhausted != "":
+			detail = "budget exhausted: " + c.res.Exhausted
+		}
+		rec.Verdict("mc.check", c.res.Violation == nil, detail)
+		rec.PhaseEnd("mc.check", int64(c.res.StatesExplored))
 	}
 	return c.res, err
 }
@@ -534,8 +569,13 @@ func (c *checker) pollBudgets() (bool, error) {
 			return true, c.exhaust("memory")
 		}
 	}
-	if !c.deadline.IsZero() && c.res.StatesExplored%64 == 0 && time.Now().After(c.deadline) {
-		return true, c.exhaust("time")
+	if c.res.StatesExplored%64 == 0 {
+		if !c.deadline.IsZero() && time.Now().After(c.deadline) {
+			return true, c.exhaust("time")
+		}
+		if c.opts.Ctx != nil && c.opts.Ctx.Err() != nil {
+			return true, c.exhaust("canceled")
+		}
 	}
 	return false, nil
 }

@@ -125,7 +125,19 @@ func (s *segments) finishCarve(c int) int {
 // scratch arrays instead of formatting strings and allocating maps per
 // splitter.
 func FixpointHopcroft(cs CountStructure) (*Partition, error) {
-	return fixpointHopcroft(cs, 1)
+	return fixpointHopcroft(cs, 1, nil)
+}
+
+// FixpointHopcroftHooked is FixpointHopcroft with a progress hook and an
+// optional parallel initial collection pass (workers > 1). The hook
+// fires once per splitter iteration that carved at least one new class
+// — quiet iterations (no edges into the splitter, or no refinement) are
+// skipped so observed runs stay proportional to actual refinement work.
+func FixpointHopcroftHooked(cs CountStructure, workers int, hook RoundHook) (*Partition, error) {
+	if workers < 1 {
+		workers = 1
+	}
+	return fixpointHopcroft(cs, workers, hook)
 }
 
 // FixpointHopcroftParallel is FixpointHopcroft with the initial
@@ -139,10 +151,10 @@ func FixpointHopcroftParallel(cs CountStructure, workers int) (*Partition, error
 	if workers < 1 {
 		workers = 1
 	}
-	return fixpointHopcroft(cs, workers)
+	return fixpointHopcroft(cs, workers, nil)
 }
 
-func fixpointHopcroft(cs CountStructure, workers int) (*Partition, error) {
+func fixpointHopcroft(cs CountStructure, workers int, hook RoundHook) (*Partition, error) {
 	n := cs.Len()
 	if n == 0 {
 		return nil, ErrEmptyStructure
@@ -231,6 +243,7 @@ func fixpointHopcroft(cs CountStructure, workers int) (*Partition, error) {
 	for head := 0; head < len(queue); head++ {
 		splitter := queue[head]
 		inQueue[splitter] = false
+		classesBefore := len(seg.start)
 
 		// Gather the nodes with edges into the splitter and their tags.
 		touched = touched[:0]
@@ -353,6 +366,9 @@ func fixpointHopcroft(cs CountStructure, workers int) (*Partition, error) {
 		}
 		for _, c := range classIDs {
 			byClass[c] = byClass[c][:0]
+		}
+		if hook != nil && len(seg.start) > classesBefore {
+			hook(head+1, len(seg.start), len(seg.start)-classesBefore)
 		}
 	}
 

@@ -66,6 +66,14 @@ type TokenStructure interface {
 // ErrEmptyStructure is returned when refining a structure with no nodes.
 var ErrEmptyStructure = errors.New("partition: empty structure")
 
+// RoundHook observes refinement progress: round is the 1-based round
+// (worklist/naive drivers) or splitter iteration (Hopcroft), classes the
+// partition size after the round, and splits the number of new classes
+// carved during it. Hooks run synchronously on the refining goroutine —
+// they are the observability tap the core package threads its event
+// recorder through — and a nil hook costs one branch per round.
+type RoundHook func(round, classes, splits int)
+
 // Partition assigns each node a class label in 0..NumClasses()-1.
 // Class identifiers are deterministic for a given refinement run but
 // carry no meaning across runs; use Canonical for stable comparison.
@@ -363,12 +371,17 @@ func (e *sigEncoder) sigID(i int, label func(int) int) int {
 // Algorithm 1 exactly: "do nodes x and y have the same label but different
 // environments → relabel".
 func FixpointNaive(s Structure) (*Partition, error) {
+	return FixpointNaiveHooked(s, nil)
+}
+
+// FixpointNaiveHooked is FixpointNaive reporting each round to hook.
+func FixpointNaiveHooked(s Structure, hook RoundHook) (*Partition, error) {
 	p, err := newPartition(s)
 	if err != nil {
 		return nil, err
 	}
 	lbl := func(i int) int { return p.label[i] }
-	for {
+	for round := 1; ; round++ {
 		sigCache := make([]string, s.Len())
 		for i := 0; i < s.Len(); i++ {
 			sigCache[i] = s.Signature(i, lbl)
@@ -381,6 +394,9 @@ func FixpointNaive(s Structure) (*Partition, error) {
 			if ch := p.splitClass(c, func(i int) string { return sigCache[i] }); len(ch) > 0 {
 				changedAny = true
 			}
+		}
+		if hook != nil {
+			hook(round, len(p.members), len(p.members)-numBefore)
 		}
 		if !changedAny {
 			return p, nil
@@ -395,7 +411,16 @@ func FixpointNaive(s Structure) (*Partition, error) {
 // small ints per class (see TokenStructure and SigTable), so splitting
 // never compares or sorts strings.
 func FixpointWorklist(s Structure) (*Partition, error) {
-	return fixpointWorklist(s, 1)
+	return fixpointWorklist(s, 1, nil)
+}
+
+// FixpointWorklistHooked is FixpointWorklist with a per-round progress
+// hook and an optional parallel signature pass (workers > 1).
+func FixpointWorklistHooked(s Structure, workers int, hook RoundHook) (*Partition, error) {
+	if workers < 1 {
+		workers = 1
+	}
+	return fixpointWorklist(s, workers, hook)
 }
 
 // FixpointWorklistParallel is FixpointWorklist with the per-round
@@ -409,10 +434,10 @@ func FixpointWorklistParallel(s Structure, workers int) (*Partition, error) {
 	if workers < 1 {
 		workers = 1
 	}
-	return fixpointWorklist(s, workers)
+	return fixpointWorklist(s, workers, nil)
 }
 
-func fixpointWorklist(s Structure, workers int) (*Partition, error) {
+func fixpointWorklist(s Structure, workers int, hook RoundHook) (*Partition, error) {
 	p, err := newPartition(s)
 	if err != nil {
 		return nil, err
@@ -434,7 +459,10 @@ func fixpointWorklist(s Structure, workers int) (*Partition, error) {
 	var idsBuf []int
 	var offsBuf []int
 
+	round := 0
 	for len(queue) > 0 {
+		round++
+		numBefore := len(p.members)
 		// Gather the dirty classes this round.
 		classes = classes[:0]
 		for _, i := range queue {
@@ -528,6 +556,9 @@ func fixpointWorklist(s Structure, workers int) (*Partition, error) {
 				dirty[i] = true
 				queue = append(queue, i)
 			}
+		}
+		if hook != nil {
+			hook(round, len(p.members), len(p.members)-numBefore)
 		}
 	}
 	return p, nil

@@ -31,6 +31,7 @@ import (
 	"simsym/internal/intset"
 	"simsym/internal/machine"
 	"simsym/internal/mimic"
+	"simsym/internal/obs"
 	"simsym/internal/system"
 )
 
@@ -59,6 +60,32 @@ type Decision struct {
 
 // Decide dispatches on the model and runs the right decision procedure.
 func Decide(sys *system.System, instr system.InstrSet, sch system.ScheduleClass) (*Decision, error) {
+	return DecideWith(sys, instr, sch, nil)
+}
+
+// DecideWith is Decide with an event recorder threaded through: the
+// decision runs inside a selection.decide phase, the underlying
+// similarity computation emits its refine-round events, and the verdict
+// (solvable or not, with the paper's reason) lands as a KindVerdict
+// event. A nil recorder records nothing.
+func DecideWith(sys *system.System, instr system.InstrSet, sch system.ScheduleClass, rec *obs.Recorder) (*Decision, error) {
+	rec.PhaseStart("selection.decide")
+	d, err := decide(sys, instr, sch, rec)
+	if err != nil {
+		return nil, err
+	}
+	if rec.Enabled() {
+		rec.Count("selection.decides", 1)
+		if d.NumVersions > 0 {
+			rec.Stat("selection.versions", int64(d.NumVersions))
+		}
+		rec.Verdict("selection.decide", d.Solvable, d.Reason)
+		rec.PhaseEnd("selection.decide", 1)
+	}
+	return d, nil
+}
+
+func decide(sys *system.System, instr system.InstrSet, sch system.ScheduleClass, rec *obs.Recorder) (*Decision, error) {
 	if sch == system.SchedGeneral {
 		return &Decision{
 			Instr: instr, Sched: sch, Solvable: false,
@@ -67,21 +94,21 @@ func Decide(sys *system.System, instr system.InstrSet, sch system.ScheduleClass)
 	}
 	switch instr {
 	case system.InstrQ:
-		return decideByLabeling(sys, instr, sch, core.RuleQ)
+		return decideByLabeling(sys, instr, sch, core.RuleQ, rec)
 	case system.InstrS:
 		if sch == system.SchedBoundedFair {
-			return decideByLabeling(sys, instr, sch, core.RuleSetS)
+			return decideByLabeling(sys, instr, sch, core.RuleSetS, rec)
 		}
 		return decideFairS(sys)
 	case system.InstrL:
-		return DecideL(sys, family.RelabelOptions{})
+		return decideL(sys, family.RelabelOptions{}, rec)
 	default:
 		return nil, fmt.Errorf("%w: %v/%v", ErrUnsupportedModel, instr, sch)
 	}
 }
 
-func decideByLabeling(sys *system.System, instr system.InstrSet, sch system.ScheduleClass, rule core.Rule) (*Decision, error) {
-	lab, err := core.Similarity(sys, rule)
+func decideByLabeling(sys *system.System, instr system.InstrSet, sch system.ScheduleClass, rule core.Rule, rec *obs.Recorder) (*Decision, error) {
+	lab, err := core.SimilarityWith(sys, rule, core.Config{Obs: rec})
 	if err != nil {
 		return nil, fmt.Errorf("selection: %w", err)
 	}
@@ -113,6 +140,10 @@ func decideFairS(sys *system.System) (*Decision, error) {
 // DecideL runs the L-model decision: enumerate relabel outcomes, compute
 // VERSIONS, and build ELITE when possible. Fair and bounded-fair coincide.
 func DecideL(sys *system.System, relOpts family.RelabelOptions) (*Decision, error) {
+	return decideL(sys, relOpts, nil)
+}
+
+func decideL(sys *system.System, relOpts family.RelabelOptions, rec *obs.Recorder) (*Decision, error) {
 	plan, _, err := distlabel.PlanAlgorithm4(sys, relOpts)
 	if err != nil {
 		return nil, fmt.Errorf("selection: %w", err)
@@ -218,9 +249,33 @@ func dedupVersions(versions [][]int) [][]int {
 //
 // The returned Decision explains the construction.
 func Select(sys *system.System, instr system.InstrSet, sch system.ScheduleClass) (*machine.Program, *Decision, error) {
+	return SelectWith(sys, instr, sch, nil)
+}
+
+// SelectWith is Select with an event recorder threaded through the
+// decision and program construction. A nil recorder records nothing.
+func SelectWith(sys *system.System, instr system.InstrSet, sch system.ScheduleClass, rec *obs.Recorder) (*machine.Program, *Decision, error) {
+	rec.PhaseStart("selection.select")
+	prog, d, err := buildSelect(sys, instr, sch, rec)
+	if err != nil {
+		if d != nil && rec.Enabled() {
+			rec.Verdict("selection.select", false, d.Reason)
+			rec.PhaseEnd("selection.select", 0)
+		}
+		return prog, d, err
+	}
+	if rec.Enabled() {
+		rec.Count("selection.selects", 1)
+		rec.Verdict("selection.select", true, d.Reason)
+		rec.PhaseEnd("selection.select", int64(prog.Len()))
+	}
+	return prog, d, nil
+}
+
+func buildSelect(sys *system.System, instr system.InstrSet, sch system.ScheduleClass, rec *obs.Recorder) (*machine.Program, *Decision, error) {
 	switch instr {
 	case system.InstrQ:
-		d, err := decideByLabeling(sys, instr, sch, core.RuleQ)
+		d, err := decideByLabeling(sys, instr, sch, core.RuleQ, rec)
 		if err != nil {
 			return nil, nil, err
 		}
@@ -230,7 +285,7 @@ func Select(sys *system.System, instr system.InstrSet, sch system.ScheduleClass)
 		if err := distlabel.ValidateRuntime(sys); err != nil {
 			return nil, nil, fmt.Errorf("selection: %w", err)
 		}
-		lab, err := core.Similarity(sys, core.RuleQ)
+		lab, err := core.SimilarityWith(sys, core.RuleQ, core.Config{Obs: rec})
 		if err != nil {
 			return nil, nil, fmt.Errorf("selection: %w", err)
 		}
@@ -249,7 +304,7 @@ func Select(sys *system.System, instr system.InstrSet, sch system.ScheduleClass)
 		if sch != system.SchedBoundedFair {
 			return nil, nil, fmt.Errorf("%w: S selection programs need bounded-fair schedules", ErrUnsupportedModel)
 		}
-		d, err := decideByLabeling(sys, instr, sch, core.RuleSetS)
+		d, err := decideByLabeling(sys, instr, sch, core.RuleSetS, rec)
 		if err != nil {
 			return nil, nil, err
 		}
@@ -259,7 +314,7 @@ func Select(sys *system.System, instr system.InstrSet, sch system.ScheduleClass)
 		if err := distlabel.ValidateRuntime(sys); err != nil {
 			return nil, nil, fmt.Errorf("selection: %w", err)
 		}
-		lab, err := core.Similarity(sys, core.RuleSetS)
+		lab, err := core.SimilarityWith(sys, core.RuleSetS, core.Config{Obs: rec})
 		if err != nil {
 			return nil, nil, fmt.Errorf("selection: %w", err)
 		}
@@ -275,7 +330,7 @@ func Select(sys *system.System, instr system.InstrSet, sch system.ScheduleClass)
 		}
 		return prog, d, nil
 	case system.InstrL:
-		d, err := DecideL(sys, family.RelabelOptions{})
+		d, err := decideL(sys, family.RelabelOptions{}, rec)
 		if err != nil {
 			return nil, nil, err
 		}

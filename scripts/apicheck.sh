@@ -1,0 +1,33 @@
+#!/bin/sh
+# apicheck.sh — guard the public API surface of package simsym.
+#
+# Renders `go doc .` (the package documentation plus the one-line index
+# of every exported symbol) and diffs it against the checked-in baseline
+# at api/simsym.txt. Any accidental removal, rename, or signature change
+# of an exported symbol shows up as a diff and fails CI; a deliberate
+# API change is recorded by regenerating the baseline:
+#
+#	./scripts/apicheck.sh          # verify (CI mode)
+#	./scripts/apicheck.sh -update  # accept the current surface
+set -eu
+cd "$(dirname "$0")/.."
+baseline=api/simsym.txt
+tmp=$(mktemp)
+trap 'rm -f "$tmp"' EXIT
+go doc . >"$tmp"
+if [ "${1:-}" = "-update" ]; then
+	mkdir -p api
+	cp "$tmp" "$baseline"
+	echo "apicheck: baseline $baseline updated"
+	exit 0
+fi
+if [ ! -f "$baseline" ]; then
+	echo "apicheck: missing baseline $baseline (run ./scripts/apicheck.sh -update)" >&2
+	exit 1
+fi
+if ! diff -u "$baseline" "$tmp"; then
+	echo "apicheck: public API surface changed." >&2
+	echo "apicheck: if intentional, regenerate with ./scripts/apicheck.sh -update" >&2
+	exit 1
+fi
+echo "apicheck: public API matches $baseline"

@@ -1,32 +1,8 @@
-// Package simsym is a library companion to Johnson & Schneider,
-// "Symmetry and Similarity in Distributed Systems" (PODC 1985).
-//
-// It models anonymous concurrent systems — processors connected to shared
-// variables through local names — and implements the paper's theory end
-// to end: similarity labelings (Algorithm 1) under the S, L, and Q
-// instruction sets; the distributed label-learning programs (Algorithms 2
-// and 3); the selection problem's decision procedures and the SELECT /
-// Algorithm 4 constructions; graph-theoretic symmetry and Theorems 10–11;
-// the Dining Philosophers results DP and DP'; message-passing and CSP
-// transfers; and the randomized symmetry breakers of section 8. A small
-// VM executes the generated programs one atomic step at a time, and an
-// explicit-state model checker verifies Uniqueness, Stability, exclusion,
-// and deadlock-freedom over every schedule.
-//
-// This package is the public facade: it re-exports the stable surface of
-// the internal packages so downstream users never import simsym/internal.
-//
-// Quick start:
-//
-//	sys, _ := simsym.Ring(5)
-//	lab, _ := simsym.Similarity(sys, simsym.RuleQ)
-//	fmt.Println(lab)                       // one class: all similar
-//	d, _ := simsym.Decide(sys, simsym.InstrL, simsym.SchedFair)
-//	fmt.Println(d.Solvable, d.Reason)      // false: rings stay anonymous
 package simsym
 
 import (
 	"errors"
+	"fmt"
 
 	"simsym/internal/autgrp"
 	"simsym/internal/core"
@@ -34,7 +10,6 @@ import (
 	"simsym/internal/dining"
 	"simsym/internal/family"
 	"simsym/internal/machine"
-	"simsym/internal/mc"
 	"simsym/internal/mimic"
 	"simsym/internal/msgpass"
 	"simsym/internal/randomized"
@@ -44,6 +19,11 @@ import (
 	"simsym/internal/system"
 	"simsym/internal/trace"
 )
+
+// ErrBadArgs is wrapped by every facade function that rejects its
+// arguments (non-positive sizes, nil systems or programs, out-of-range
+// indices). Test with errors.Is(err, simsym.ErrBadArgs).
+var ErrBadArgs = errors.New("simsym: invalid argument")
 
 // Core model types.
 type (
@@ -81,6 +61,9 @@ type (
 
 	// MsgNetwork is a directed message-passing processor graph.
 	MsgNetwork = msgpass.Network
+
+	// DiningReport is the outcome of a dining-philosophers check.
+	DiningReport = dining.Report
 )
 
 // Instruction sets and schedule classes (paper section 2).
@@ -100,7 +83,7 @@ const (
 	RuleSetS = core.RuleSetS
 )
 
-// Example systems and builders.
+// Example systems (no parameters to validate, re-exported directly).
 var (
 	// Fig1 builds the paper's Figure 1 (two processors, one variable).
 	Fig1 = system.Fig1
@@ -108,36 +91,72 @@ var (
 	Fig2 = system.Fig2
 	// Fig3 builds the reconstruction of Figure 3 (fair-S mimicry).
 	Fig3 = system.Fig3
-	// Ring builds an anonymous ring of n processors.
-	Ring = system.Ring
-	// Dining builds the Figure 4 dining table for n philosophers.
-	Dining = system.Dining
-	// DiningFlipped builds the Figure 5 alternating table (n even).
-	DiningFlipped = system.DiningFlipped
-	// Star builds n processors sharing one hub variable.
-	Star = system.Star
 )
+
+// Ring builds an anonymous ring of n processors.
+func Ring(n int) (*System, error) {
+	if n < 1 {
+		return nil, fmt.Errorf("%w: Ring(n=%d) needs n >= 1", ErrBadArgs, n)
+	}
+	return system.Ring(n)
+}
+
+// Dining builds the Figure 4 dining table for n philosophers.
+func Dining(n int) (*System, error) {
+	if n < 2 {
+		return nil, fmt.Errorf("%w: Dining(n=%d) needs n >= 2", ErrBadArgs, n)
+	}
+	return system.Dining(n)
+}
+
+// DiningFlipped builds the Figure 5 alternating table (n even).
+func DiningFlipped(n int) (*System, error) {
+	if n < 4 || n%2 != 0 {
+		return nil, fmt.Errorf("%w: DiningFlipped(n=%d) needs even n >= 4", ErrBadArgs, n)
+	}
+	return system.DiningFlipped(n)
+}
+
+// Star builds n processors sharing one hub variable.
+func Star(n int) (*System, error) {
+	if n < 1 {
+		return nil, fmt.Errorf("%w: Star(n=%d) needs n >= 1", ErrBadArgs, n)
+	}
+	return system.Star(n)
+}
 
 // Similarity computes the similarity labeling Θ of sys under the given
 // environment rule (Algorithm 1 / Theorem 5).
+//
+// Deprecated: use SimilarityOpts, which additionally accepts
+// WithObserver and WithWorkers. This wrapper delegates to it unchanged.
 func Similarity(sys *System, rule Rule) (*Labeling, error) {
-	return core.Similarity(sys, rule)
+	return SimilarityOpts(sys, rule)
 }
 
 // Decide solves the selection problem's decision half for the given
 // model (Theorems 1–3, 7–9 and the section 6 mimicry criterion).
+//
+// Deprecated: use DecideOpts, which additionally accepts WithObserver.
+// This wrapper delegates to it unchanged.
 func Decide(sys *System, instr InstrSet, sch ScheduleClass) (*Decision, error) {
-	return selection.Decide(sys, instr, sch)
+	return DecideOpts(sys, instr, sch)
 }
 
 // BuildSelect produces a runnable selection program (the paper's SELECT /
 // Algorithm 4) for a solvable system in Q or L.
+//
+// Deprecated: use BuildSelectOpts, which additionally accepts
+// WithObserver. This wrapper delegates to it unchanged.
 func BuildSelect(sys *System, instr InstrSet, sch ScheduleClass) (*Program, *Decision, error) {
-	return selection.Select(sys, instr, sch)
+	return BuildSelectOpts(sys, instr, sch)
 }
 
 // NewMachine initializes a VM for sys under an instruction set.
 func NewMachine(sys *System, instr InstrSet, prog *Program) (*Machine, error) {
+	if sys == nil || prog == nil {
+		return nil, fmt.Errorf("%w: NewMachine: nil system or program", ErrBadArgs)
+	}
 	return machine.New(sys, instr, prog)
 }
 
@@ -147,12 +166,18 @@ func NewProgram() *ProgramBuilder { return machine.NewBuilder() }
 // ComputeOrbits enumerates the automorphism group and node orbits
 // (graph-theoretic symmetry, Theorems 10–11).
 func ComputeOrbits(sys *System) (*Orbits, error) {
+	if sys == nil {
+		return nil, fmt.Errorf("%w: ComputeOrbits: nil system", ErrBadArgs)
+	}
 	return autgrp.Compute(sys, autgrp.Options{})
 }
 
 // MimicsNobody returns the processors that mimic no other processor in a
 // fair system in S — the safe self-selectors (section 6).
 func MimicsNobody(sys *System) ([]int, error) {
+	if sys == nil {
+		return nil, fmt.Errorf("%w: MimicsNobody: nil system", ErrBadArgs)
+	}
 	rel, err := mimic.Compute(sys)
 	if err != nil {
 		return nil, err
@@ -163,6 +188,9 @@ func MimicsNobody(sys *System) ([]int, error) {
 // HomogeneousFamily groups systems sharing one topology, differing only
 // in initial states (section 5).
 func HomogeneousFamily(members []*System) (*family.Family, error) {
+	if len(members) == 0 {
+		return nil, fmt.Errorf("%w: HomogeneousFamily: no members", ErrBadArgs)
+	}
 	return family.NewHomogeneous(members)
 }
 
@@ -170,18 +198,27 @@ func HomogeneousFamily(members []*System) (*family.Family, error) {
 // Q (Theorem 7): solvable iff an ELITE label set covers each member
 // exactly once.
 func DecideFamily(fam *family.Family) (*selection.FamilyDecision, error) {
+	if fam == nil {
+		return nil, fmt.Errorf("%w: DecideFamily: nil family", ErrBadArgs)
+	}
 	return selection.DecideFamilyQ(fam)
 }
 
 // BuildSelectFamily generates the uniform Algorithm 3 program electing
 // the ELITE holder on every member of a solvable family.
 func BuildSelectFamily(fam *family.Family) (*Program, *selection.FamilyDecision, error) {
+	if fam == nil {
+		return nil, nil, fmt.Errorf("%w: BuildSelectFamily: nil family", ErrBadArgs)
+	}
 	return selection.SelectFamilyQ(fam)
 }
 
 // RelabelVersions enumerates the paper's VERSIONS for a system in L: the
 // similarity labelings (shared label space) of every relabel outcome.
 func RelabelVersions(sys *System) ([][]int, error) {
+	if sys == nil {
+		return nil, fmt.Errorf("%w: RelabelVersions: nil system", ErrBadArgs)
+	}
 	versions, err := family.Versions(sys, family.RelabelOptions{})
 	if err != nil {
 		return nil, err
@@ -194,13 +231,24 @@ func RelabelVersions(sys *System) ([][]int, error) {
 }
 
 // RoundRobin returns the canonical fair schedule prefix.
-func RoundRobin(n, rounds int) ([]int, error) { return sched.RoundRobin(n, rounds) }
+func RoundRobin(n, rounds int) ([]int, error) {
+	if n < 1 || rounds < 0 {
+		return nil, fmt.Errorf("%w: RoundRobin(n=%d, rounds=%d) needs n >= 1, rounds >= 0", ErrBadArgs, n, rounds)
+	}
+	return sched.RoundRobin(n, rounds)
+}
 
 // WitnessSimilarity runs prog under the class-sorted round-robin schedule
 // and checks that same-labeled nodes stay in the same state at every
 // round boundary (the Theorem 4 witness). It returns true when no
 // divergence was observed.
 func WitnessSimilarity(sys *System, instr InstrSet, prog *Program, lab *Labeling, rounds int) (bool, error) {
+	if sys == nil || prog == nil || lab == nil {
+		return false, fmt.Errorf("%w: WitnessSimilarity: nil system, program, or labeling", ErrBadArgs)
+	}
+	if rounds < 1 {
+		return false, fmt.Errorf("%w: WitnessSimilarity: rounds %d < 1", ErrBadArgs, rounds)
+	}
 	rep, err := trace.Witness(sys, instr, prog, lab, rounds)
 	if err != nil {
 		return false, err
@@ -213,47 +261,59 @@ func WitnessSimilarity(sys *System, instr InstrSet, prog *Program, lab *Labeling
 // unselects one. safe && complete is a proof over the full reachable
 // space; safe && !complete means no violation was found within the
 // maxStates budget (bounded verification).
+//
+// Deprecated: use CheckOpts, which returns the full CheckReport (witness
+// schedule, exhausted budget, engine statistics) and accepts budgets,
+// workers, symmetry reduction, contexts, and observers. This wrapper
+// delegates to it unchanged.
 func CheckSelectionSafety(sys *System, instr InstrSet, prog *Program, maxStates int) (safe, complete bool, err error) {
-	res, err := mc.Check(func() (*Machine, error) {
-		return machine.New(sys, instr, prog)
-	}, mc.Options{
-		MaxStates:  maxStates,
-		StatePreds: []mc.StatePredicate{mc.UniquenessPred},
-		TransPreds: []mc.TransitionPredicate{mc.StabilityPred},
-	})
-	if errors.Is(err, mc.ErrBudget) {
-		return true, false, nil
-	}
+	rep, err := CheckOpts(sys, instr, prog, WithMaxStates(maxStates))
 	if err != nil {
 		return false, false, err
 	}
-	return res.Violation == nil, res.Complete, nil
+	return rep.Safe, rep.Complete, nil
 }
 
 // DiningProgram returns the uniform fork-grabbing philosopher program.
 func DiningProgram(first, second Name, meals int) (*Program, error) {
+	if first == "" || second == "" || meals < 1 {
+		return nil, fmt.Errorf("%w: DiningProgram(%q, %q, meals=%d) needs non-empty names, meals >= 1", ErrBadArgs, first, second, meals)
+	}
 	return dining.Program(first, second, meals)
 }
 
 // CheckDining model-checks a dining program for exclusion and deadlock.
-func CheckDining(sys *System, prog *Program, maxStates int) (*dining.Report, error) {
-	return dining.Check(sys, prog, maxStates)
+//
+// Deprecated: use CheckDiningOpts, which accepts budgets, workers,
+// symmetry reduction, contexts, and observers. This wrapper delegates to
+// it unchanged.
+func CheckDining(sys *System, prog *Program, maxStates int) (*DiningReport, error) {
+	return CheckDiningOpts(sys, prog, WithMaxStates(maxStates))
 }
 
 // OrientedDiningTable builds the Chandy–Misra table: the acyclic fork
 // orientation lives in the initial state (section 8's encapsulated
 // asymmetry).
 func OrientedDiningTable(n int, towardRight []bool) (*System, error) {
+	if n < 2 || len(towardRight) != n {
+		return nil, fmt.Errorf("%w: OrientedDiningTable(n=%d, len(towardRight)=%d) needs n >= 2 and one orientation per fork", ErrBadArgs, n, len(towardRight))
+	}
 	return dining.OrientedTable(n, towardRight)
 }
 
 // ChandyMisraProgram returns the uniform dirty-fork philosopher program.
 func ChandyMisraProgram(meals int) (*Program, error) {
+	if meals < 1 {
+		return nil, fmt.Errorf("%w: ChandyMisraProgram(meals=%d) needs meals >= 1", ErrBadArgs, meals)
+	}
 	return dining.ChandyMisraProgram(meals)
 }
 
 // ItaiRodehSweep runs the randomized anonymous-ring election repeatedly.
 func ItaiRodehSweep(seed int64, n, idSpace, maxPhases, runs int) (*randomized.ElectionStats, error) {
+	if n < 1 || idSpace < 1 || maxPhases < 1 || runs < 1 {
+		return nil, fmt.Errorf("%w: ItaiRodehSweep(n=%d, idSpace=%d, maxPhases=%d, runs=%d) needs all >= 1", ErrBadArgs, n, idSpace, maxPhases, runs)
+	}
 	return randomized.ElectionSweep(seed, n, idSpace, maxPhases, runs)
 }
 
@@ -270,6 +330,9 @@ func ExportDOT(sys *System, title string) string { return sysdsl.DOT(sys, title)
 // network (section 6): counting environments for the Q-like regime, set
 // environments for the overwrite regime.
 func MsgSimilarity(n *MsgNetwork, counting bool) ([]int, error) {
+	if n == nil {
+		return nil, fmt.Errorf("%w: MsgSimilarity: nil network", ErrBadArgs)
+	}
 	return msgpass.Similarity(n, counting)
 }
 
@@ -277,8 +340,18 @@ func MsgSimilarity(n *MsgNetwork, counting bool) ([]int, error) {
 type CSPNet = csp.Net
 
 // CSPRing builds the CSP ring network.
-func CSPRing(n int) (*CSPNet, error) { return csp.RingNet(n) }
+func CSPRing(n int) (*CSPNet, error) {
+	if n < 1 {
+		return nil, fmt.Errorf("%w: CSPRing(n=%d) needs n >= 1", ErrBadArgs, n)
+	}
+	return csp.RingNet(n)
+}
 
 // DecideExtendedCSP solves the selection problem under CSP extended with
 // output guards, via the channel-shaped L translation (section 6).
-func DecideExtendedCSP(n *CSPNet) (*Decision, error) { return csp.DecideExtended(n) }
+func DecideExtendedCSP(n *CSPNet) (*Decision, error) {
+	if n == nil {
+		return nil, fmt.Errorf("%w: DecideExtendedCSP: nil network", ErrBadArgs)
+	}
+	return csp.DecideExtended(n)
+}
