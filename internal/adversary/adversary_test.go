@@ -20,7 +20,7 @@ func loopMachine(t *testing.T, n int) *machine.Machine {
 	}
 	b := machine.NewBuilder()
 	b.Label("top")
-	b.Compute(func(machine.Locals) {})
+	b.Compute(func(*machine.Regs) {})
 	b.Jump("top")
 	prog, err := b.Build()
 	if err != nil {
@@ -164,13 +164,14 @@ func TestKBoundedPassesThroughLegalInner(t *testing.T) {
 func strawmanProgram(t *testing.T) *machine.Program {
 	t.Helper()
 	b := machine.NewBuilder()
+	x, selected, mark := b.Sym("x"), b.Sym("selected"), b.Sym("mark")
 	b.Read("n", "x")
-	b.Compute(func(loc machine.Locals) {
-		if loc["x"] == "0" {
-			loc["selected"] = true
-			loc["mark"] = "taken"
+	b.Compute(func(r *machine.Regs) {
+		if r.Get(x) == "0" {
+			r.Set(selected, true)
+			r.Set(mark, "taken")
 		} else {
-			loc["mark"] = "seen"
+			r.Set(mark, "seen")
 		}
 	})
 	b.Write("n", "mark")

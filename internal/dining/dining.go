@@ -39,22 +39,24 @@ var (
 // only asymmetry available is in the naming structure of the table.
 func Program(first, second system.Name, meals int) (*machine.Program, error) {
 	b := machine.NewBuilder()
-	b.Compute(func(loc machine.Locals) {
-		loc["meals"] = 0
-		loc["eating"] = false
+	mealsS, eatingS := b.Sym("meals"), b.Sym("eating")
+	g1, g2 := b.Sym("_g1"), b.Sym("_g2")
+	b.Compute(func(r *machine.Regs) {
+		r.Set(mealsS, 0)
+		r.Set(eatingS, false)
 	})
 	b.Label("think")
-	b.JumpIf(func(loc machine.Locals) bool { return loc["meals"].(int) >= meals }, "full")
+	b.JumpIf(func(r *machine.Regs) bool { return r.Int(mealsS) >= meals }, "full")
 	b.Label("grab1")
 	b.Lock(first, "_g1")
-	b.JumpIf(func(loc machine.Locals) bool { return loc["_g1"] != true }, "grab1")
+	b.JumpIf(func(r *machine.Regs) bool { return r.Get(g1) != true }, "grab1")
 	b.Label("grab2")
 	b.Lock(second, "_g2")
-	b.JumpIf(func(loc machine.Locals) bool { return loc["_g2"] != true }, "grab2")
-	b.Compute(func(loc machine.Locals) { loc["eating"] = true })
-	b.Compute(func(loc machine.Locals) {
-		loc["eating"] = false
-		loc["meals"] = loc["meals"].(int) + 1
+	b.JumpIf(func(r *machine.Regs) bool { return r.Get(g2) != true }, "grab2")
+	b.Compute(func(r *machine.Regs) { r.Set(eatingS, true) })
+	b.Compute(func(r *machine.Regs) {
+		r.Set(eatingS, false)
+		r.Set(mealsS, r.Int(mealsS)+1)
 	})
 	b.Unlock(second)
 	b.Unlock(first)
@@ -239,14 +241,16 @@ func Meals(m *machine.Machine) []int {
 // eat together" scenario in miniature (runs in S).
 func GreedyProgram() (*machine.Program, error) {
 	b := machine.NewBuilder()
+	l, r0 := b.Sym("_l"), b.Sym("_r")
+	eatingS, markS := b.Sym("eating"), b.Sym("_mark")
 	b.Read("left", "_l")
 	b.Read("right", "_r")
-	b.JumpIf(func(loc machine.Locals) bool {
-		return loc["_l"] != "0" || loc["_r"] != "0"
+	b.JumpIf(func(r *machine.Regs) bool {
+		return r.Get(l) != "0" || r.Get(r0) != "0"
 	}, "skip")
-	b.Compute(func(loc machine.Locals) {
-		loc["eating"] = true
-		loc["_mark"] = "taken"
+	b.Compute(func(r *machine.Regs) {
+		r.Set(eatingS, true)
+		r.Set(markS, "taken")
 	})
 	b.Write("left", "_mark")
 	b.Write("right", "_mark")

@@ -130,6 +130,33 @@ func side(name system.Name) string {
 	return "r"
 }
 
+// cmSyms pre-interns the Chandy–Misra program's local slots.
+type cmSyms struct {
+	meals, eating     machine.Sym
+	g, raw, w         machine.Sym
+	ownLeft, ownRight machine.Sym
+}
+
+func newCMSyms(b *machine.Builder) *cmSyms {
+	return &cmSyms{
+		meals:    b.Sym("meals"),
+		eating:   b.Sym("eating"),
+		g:        b.Sym("_g"),
+		raw:      b.Sym("_raw"),
+		w:        b.Sym("_w"),
+		ownLeft:  b.Sym("own_left"),
+		ownRight: b.Sym("own_right"),
+	}
+}
+
+// own returns the ownership slot for the given local fork name.
+func (cs *cmSyms) own(name system.Name) machine.Sym {
+	if name == "left" {
+		return cs.ownLeft
+	}
+	return cs.ownRight
+}
+
 // ChandyMisraProgram returns the uniform Chandy–Misra philosopher
 // program for meals meals. After the last meal the philosopher keeps
 // servicing fork requests forever (it never halts), so neighbors are
@@ -137,9 +164,10 @@ func side(name system.Name) string {
 // the "meals" locals.
 func ChandyMisraProgram(meals int) (*machine.Program, error) {
 	b := machine.NewBuilder()
-	b.Compute(func(loc machine.Locals) {
-		loc["meals"] = 0
-		loc["eating"] = false
+	cs := newCMSyms(b)
+	b.Compute(func(r *machine.Regs) {
+		r.Set(cs.meals, 0)
+		r.Set(cs.eating, false)
 	})
 
 	seq := 0
@@ -147,33 +175,32 @@ func ChandyMisraProgram(meals int) (*machine.Program, error) {
 	// One pass over both forks: acquire, request, or yield as the rules
 	// dictate; then eat if both are ours.
 	for _, name := range []system.Name{"left", "right"} {
-		emitForkPass(b, name, true, &seq)
+		emitForkPass(b, cs, name, true, &seq)
 	}
-	b.JumpIf(func(loc machine.Locals) bool {
-		return loc["own_left"] == true && loc["own_right"] == true
+	b.JumpIf(func(r *machine.Regs) bool {
+		return r.Get(cs.ownLeft) == true && r.Get(cs.ownRight) == true
 	}, "eat")
 	b.Jump("hungry")
 
 	b.Label("eat")
-	b.Compute(func(loc machine.Locals) { loc["eating"] = true })
-	b.Compute(func(loc machine.Locals) {
-		loc["eating"] = false
-		loc["meals"] = loc["meals"].(int) + 1
+	b.Compute(func(r *machine.Regs) { r.Set(cs.eating, true) })
+	b.Compute(func(r *machine.Regs) {
+		r.Set(cs.eating, false)
+		r.Set(cs.meals, r.Int(cs.meals)+1)
 	})
 	// Dirty both forks (and hand them over if already requested).
 	for _, name := range []system.Name{"left", "right"} {
-		emitDirtyAndMaybeYield(b, name, &seq)
+		emitDirtyAndMaybeYield(b, cs, name, &seq)
 	}
-	b.JumpIf(func(loc machine.Locals) bool {
-		m, _ := loc["meals"].(int)
-		return m >= meals
+	b.JumpIf(func(r *machine.Regs) bool {
+		return r.Int(cs.meals) >= meals
 	}, "service")
 	b.Jump("hungry")
 
 	// Sated: service requests forever.
 	b.Label("service")
 	for _, name := range []system.Name{"left", "right"} {
-		emitForkPass(b, name, false, &seq)
+		emitForkPass(b, cs, name, false, &seq)
 	}
 	b.Jump("service")
 
@@ -190,15 +217,16 @@ func freshLabel(prefix string, seq *int) string {
 // emitForkPass emits one lock-guarded pass over the named fork.
 // If wantIt, the philosopher tries to own the fork (requesting when it
 // cannot); either way it yields a dirty requested fork it owns.
-func emitForkPass(b *machine.Builder, name system.Name, wantIt bool, seq *int) {
+func emitForkPass(b *machine.Builder, cs *cmSyms, name system.Name, wantIt bool, seq *int) {
 	my := side(name)
+	ownS := cs.own(name)
 	retry := freshLabel(fmt.Sprintf("pass_%s_%v", name, wantIt), seq)
 	b.Label(retry)
 	b.Lock(name, "_g")
-	b.JumpIf(func(loc machine.Locals) bool { return loc["_g"] != true }, retry)
+	b.JumpIf(func(r *machine.Regs) bool { return r.Get(cs.g) != true }, retry)
 	b.Read(name, "_raw")
-	b.Compute(func(loc machine.Locals) {
-		fs := decodeFork(loc["_raw"])
+	b.Compute(func(r *machine.Regs) {
+		fs := decodeFork(r.Get(cs.raw))
 		mine := fs.owner == my
 		theirReq := (my == "l" && fs.reqR) || (my == "r" && fs.reqL)
 		switch {
@@ -211,16 +239,16 @@ func emitForkPass(b *machine.Builder, name system.Name, wantIt bool, seq *int) {
 				// Immediately request it back.
 				fs = setReq(fs, my, true)
 			}
-			loc["own_"+string(name)] = false
+			r.Set(ownS, false)
 		case mine:
-			loc["own_"+string(name)] = true
+			r.Set(ownS, true)
 		case wantIt:
 			fs = setReq(fs, my, true)
-			loc["own_"+string(name)] = false
+			r.Set(ownS, false)
 		default:
-			loc["own_"+string(name)] = false
+			r.Set(ownS, false)
 		}
-		loc["_w"] = encodeFork(fs)
+		r.Set(cs.w, encodeFork(fs))
 	})
 	b.Write(name, "_w")
 	b.Unlock(name)
@@ -228,15 +256,16 @@ func emitForkPass(b *machine.Builder, name system.Name, wantIt bool, seq *int) {
 
 // emitDirtyAndMaybeYield marks the named fork dirty after a meal and
 // hands it straight to a waiting neighbor.
-func emitDirtyAndMaybeYield(b *machine.Builder, name system.Name, seq *int) {
+func emitDirtyAndMaybeYield(b *machine.Builder, cs *cmSyms, name system.Name, seq *int) {
 	my := side(name)
+	ownS := cs.own(name)
 	retry := freshLabel(fmt.Sprintf("dirty_%s", name), seq)
 	b.Label(retry)
 	b.Lock(name, "_g")
-	b.JumpIf(func(loc machine.Locals) bool { return loc["_g"] != true }, retry)
+	b.JumpIf(func(r *machine.Regs) bool { return r.Get(cs.g) != true }, retry)
 	b.Read(name, "_raw")
-	b.Compute(func(loc machine.Locals) {
-		fs := decodeFork(loc["_raw"])
+	b.Compute(func(r *machine.Regs) {
+		fs := decodeFork(r.Get(cs.raw))
 		fs.dirty = true
 		theirReq := (my == "l" && fs.reqR) || (my == "r" && fs.reqL)
 		if theirReq {
@@ -244,8 +273,8 @@ func emitDirtyAndMaybeYield(b *machine.Builder, name system.Name, seq *int) {
 			fs.dirty = false
 			fs.reqL, fs.reqR = false, false
 		}
-		loc["own_"+string(name)] = fs.owner == my
-		loc["_w"] = encodeFork(fs)
+		r.Set(ownS, fs.owner == my)
+		r.Set(cs.w, encodeFork(fs))
 	})
 	b.Write(name, "_w")
 	b.Unlock(name)

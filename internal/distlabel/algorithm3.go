@@ -80,7 +80,7 @@ type Plan3 struct {
 // options (typically an Elite set for selection).
 func (p *Plan3) Program(opts Options) (*machine.Program, error) {
 	b := machine.NewBuilder()
-	g := &gen{b: b, mode: p.mode}
+	g := newGen(b, p.mode)
 	if p.relabel {
 		emitRelabel(g, p.Topo1.Names)
 	}
@@ -88,20 +88,22 @@ func (p *Plan3) Program(opts Options) (*machine.Program, error) {
 	// every phase-1 label, every variable every phase-1 variable label.
 	// It must resolve variables too — that is its purpose.
 	topo1, topo2 := p.Topo1, p.Topo2
-	emitPhase(g, topo1, 1, Options{RequireVarResolution: true}, phaseInit{
-		initPEC: func(loc machine.Locals) []int {
+	ps1 := newPhaseSyms(b, topo1.Names, 1)
+	emitPhase(g, topo1, 1, Options{RequireVarResolution: true}, ps1, phaseInit{
+		initPEC: func(r *machine.Regs) []int {
 			return append([]int(nil), topo1.PLabels...)
 		},
-		initVEC: func(loc machine.Locals, n system.Name) []int {
+		initVEC: func(r *machine.Regs, j int) []int {
 			return append([]int(nil), topo1.VLabels...)
 		},
 	}, "phase2")
 
 	b.Label("phase2")
-	emitPhase(g, topo2, 2, opts, phaseInit{
-		initPEC: func(loc machine.Locals) []int {
-			init, _ := loc["init"].(string)
-			l1, _ := loc[labelKey(1)].(int)
+	ps2 := newPhaseSyms(b, topo2.Names, 2)
+	emitPhase(g, topo2, 2, opts, ps2, phaseInit{
+		initPEC: func(r *machine.Regs) []int {
+			init, _ := r.Get(machine.SymInit).(string)
+			l1, _ := r.Get(ps1.label).(int)
 			combined := CombineInit(init, l1)
 			var pec []int
 			for _, alpha := range topo2.PLabels {
@@ -111,8 +113,8 @@ func (p *Plan3) Program(opts Options) (*machine.Program, error) {
 			}
 			return pec
 		},
-		initVEC: func(loc machine.Locals, n system.Name) []int {
-			vl1, ok := loc[varLabelKey(1, n)].(int)
+		initVEC: func(r *machine.Regs, j int) []int {
+			vl1, ok := r.Get(ps1.varLabel[j]).(int)
 			if !ok {
 				return append([]int(nil), topo2.VLabels...)
 			}

@@ -170,8 +170,8 @@ func candidateLabs(sets [][]int) [][]int {
 //     contains as many resolved-{α} posts under name n as a true
 //     α-processor's n-variable has α-neighbors — every α already knows,
 //     so we cannot be one of them.
-func pAlibi(topo *Topology, loc machine.Locals, phase int) []int {
-	pec := loc[keyPEC(phase)].([]int)
+func pAlibi(topo *Topology, r *machine.Regs, ps *phaseSyms, phase int) []int {
+	pec := r.Get(ps.pec).([]int)
 	alibis := make(map[int]bool)
 	for _, alpha := range topo.PLabels {
 		for j, n := range topo.Names {
@@ -180,13 +180,13 @@ func pAlibi(topo *Topology, loc machine.Locals, phase int) []int {
 				alibis[alpha] = true
 				break
 			}
-			vec := loc[keyVEC(phase, n)].([]int)
+			vec := r.Get(ps.vec[j]).([]int)
 			if !intset.Contains(vec, beta) {
 				alibis[alpha] = true
 				break
 			}
 			if len(pec) > 1 {
-				pr, ok := loc[keyLocal(phase, n)].(machine.PeekResult)
+				pr, ok := r.Get(ps.local[j]).(machine.PeekResult)
 				if !ok {
 					continue
 				}
@@ -223,6 +223,42 @@ func labelKey(phase int) string                   { return fmt.Sprintf("label%d"
 func lbl(phase int, name string) string           { return fmt.Sprintf("p%d_%s", phase, name) }
 func varLabelKey(phase int, n system.Name) string { return fmt.Sprintf("varlabel%d_%s", phase, n) }
 
+// phaseSyms holds one phase's dynamically-named locals pre-interned to
+// slots: the per-neighbor keys (VEC/local/out/varlabel, one per name in
+// name-index order) plus the phase's scalar keys. Interning happens once
+// at build time; the emitted closures capture these Syms and never touch
+// a name at run time.
+type phaseSyms struct {
+	pec      machine.Sym
+	label    machine.Sym
+	done     machine.Sym
+	selected machine.Sym
+	vec      []machine.Sym // by name index
+	local    []machine.Sym
+	out      []machine.Sym
+	varLabel []machine.Sym
+}
+
+func newPhaseSyms(b *machine.Builder, names []system.Name, phase int) *phaseSyms {
+	ps := &phaseSyms{
+		pec:      b.Sym(keyPEC(phase)),
+		label:    b.Sym(labelKey(phase)),
+		done:     b.Sym("done"),
+		selected: b.Sym("selected"),
+		vec:      make([]machine.Sym, len(names)),
+		local:    make([]machine.Sym, len(names)),
+		out:      make([]machine.Sym, len(names)),
+		varLabel: make([]machine.Sym, len(names)),
+	}
+	for j, n := range names {
+		ps.vec[j] = b.Sym(keyVEC(phase, n))
+		ps.local[j] = b.Sym(keyLocal(phase, n))
+		ps.out[j] = b.Sym(keyOut(phase, n))
+		ps.varLabel[j] = b.Sym(varLabelKey(phase, n))
+	}
+	return ps
+}
+
 // Options configures program generation.
 type Options struct {
 	// Elite, when non-empty, makes the program set selected=true on the
@@ -241,6 +277,20 @@ type gen struct {
 	b    *machine.Builder
 	mode system.InstrSet // InstrQ or InstrL
 	site int
+	// Scratch slots for the L-mode spin-lock simulation, interned once.
+	sG, sRaw, sW, sCnt, sCnt2 machine.Sym
+}
+
+func newGen(b *machine.Builder, mode system.InstrSet) *gen {
+	return &gen{
+		b:     b,
+		mode:  mode,
+		sG:    b.Sym("_g"),
+		sRaw:  b.Sym("_raw"),
+		sW:    b.Sym("_w"),
+		sCnt:  b.Sym("_cnt"),
+		sCnt2: b.Sym("_cnt2"),
+	}
 }
 
 func (g *gen) fresh(prefix string) string {
@@ -262,13 +312,14 @@ func (g *gen) emitPeek(n system.Name, dst string) {
 		return
 	}
 	retry := g.fresh("peek_retry")
+	gS, rawS, dstS := g.sG, g.sRaw, g.b.Sym(dst)
 	g.b.Label(retry)
 	g.b.Lock(n, "_g")
-	g.b.JumpIf(func(loc machine.Locals) bool { return loc["_g"] != true }, retry)
+	g.b.JumpIf(func(r *machine.Regs) bool { return r.Get(gS) != true }, retry)
 	g.b.Read(n, "_raw")
 	g.b.Unlock(n)
-	g.b.Compute(func(loc machine.Locals) {
-		loc[dst] = mapToPeekResult(loc["_raw"])
+	g.b.Compute(func(r *machine.Regs) {
+		r.Set(dstS, mapToPeekResult(r.Get(rawS)))
 	})
 }
 
@@ -282,15 +333,17 @@ func (g *gen) emitPost(n system.Name, src string) {
 		return
 	}
 	retry := g.fresh("post_retry")
+	gS, rawS, wS := g.sG, g.sRaw, g.sW
+	rankS, srcS := g.b.Sym(keyRank(n)), g.b.Sym(src)
 	g.b.Label(retry)
 	g.b.Lock(n, "_g")
-	g.b.JumpIf(func(loc machine.Locals) bool { return loc["_g"] != true }, retry)
+	g.b.JumpIf(func(r *machine.Regs) bool { return r.Get(gS) != true }, retry)
 	g.b.Read(n, "_raw")
-	g.b.Compute(func(loc machine.Locals) {
-		next := normalizeVarContent(loc["_raw"])
-		rank, _ := loc[keyRank(n)].(int)
-		next["r"+strconv.Itoa(rank)] = loc[src]
-		loc["_w"] = next
+	g.b.Compute(func(r *machine.Regs) {
+		next := normalizeVarContent(r.Get(rawS))
+		rank, _ := r.Get(rankS).(int)
+		next["r"+strconv.Itoa(rank)] = r.Get(srcS)
+		r.Set(wS, next)
 	})
 	g.b.Write(n, "_w")
 	g.b.Unlock(n)
@@ -344,35 +397,39 @@ func mapToPeekResult(raw any) machine.PeekResult {
 // post-relabel state (original init plus rank vector) — a member of the
 // homogeneous family R.
 func emitRelabel(g *gen, names []system.Name) {
-	for _, n := range names {
-		n := n
+	rankSyms := make([]machine.Sym, len(names))
+	for j, n := range names {
+		rankSyms[j] = g.b.Sym(keyRank(n))
+	}
+	for j, n := range names {
 		retry := g.fresh("relabel_retry")
+		gS, cntS, cnt2S, rankS := g.sG, g.sCnt, g.sCnt2, rankSyms[j]
 		g.b.Label(retry)
 		g.b.Lock(n, "_g")
-		g.b.JumpIf(func(loc machine.Locals) bool { return loc["_g"] != true }, retry)
+		g.b.JumpIf(func(r *machine.Regs) bool { return r.Get(gS) != true }, retry)
 		g.b.Read(n, "_cnt")
-		g.b.Compute(func(loc machine.Locals) {
-			next := normalizeVarContent(loc["_cnt"])
+		g.b.Compute(func(r *machine.Regs) {
+			next := normalizeVarContent(r.Get(cntS))
 			cnt := 0
 			if s, ok := next[cntKey].(string); ok {
 				if v, err := strconv.Atoi(s); err == nil {
 					cnt = v
 				}
 			}
-			loc[keyRank(n)] = cnt
+			r.Set(rankS, cnt)
 			next[cntKey] = strconv.Itoa(cnt + 1)
-			loc["_cnt2"] = next
+			r.Set(cnt2S, next)
 		})
 		g.b.Write(n, "_cnt2")
 		g.b.Unlock(n)
 	}
-	g.b.Compute(func(loc machine.Locals) {
-		ranks := make([]int, len(names))
-		for i, n := range names {
-			ranks[i], _ = loc[keyRank(n)].(int)
+	g.b.Compute(func(r *machine.Regs) {
+		ranks := make([]int, len(rankSyms))
+		for i, s := range rankSyms {
+			ranks[i], _ = r.Get(s).(int)
 		}
-		orig, _ := loc["init"].(string)
-		loc["init"] = relabelStateString(orig, ranks)
+		orig, _ := r.Get(machine.SymInit).(string)
+		r.Set(machine.SymInit, relabelStateString(orig, ranks))
 	})
 }
 
@@ -394,10 +451,11 @@ func relabelStateString(orig string, ranks []int) string {
 // processor ends with its similarity label in local "label1" and halts.
 func Algorithm2(topo *Topology, opts Options) (*machine.Program, error) {
 	b := machine.NewBuilder()
-	g := &gen{b: b, mode: system.InstrQ}
-	emitPhase(g, topo, 1, opts, phaseInit{
-		initPEC: func(loc machine.Locals) []int {
-			init, _ := loc["init"].(string)
+	g := newGen(b, system.InstrQ)
+	ps := newPhaseSyms(b, topo.Names, 1)
+	emitPhase(g, topo, 1, opts, ps, phaseInit{
+		initPEC: func(r *machine.Regs) []int {
+			init, _ := r.Get(machine.SymInit).(string)
 			var pec []int
 			for _, alpha := range topo.PLabels {
 				if topo.InitOfProc[alpha] == init {
@@ -406,8 +464,8 @@ func Algorithm2(topo *Topology, opts Options) (*machine.Program, error) {
 			}
 			return intset.Of(pec...)
 		},
-		initVEC: func(loc machine.Locals, n system.Name) []int {
-			pr, _ := loc[keyLocal(1, n)].(machine.PeekResult)
+		initVEC: func(r *machine.Regs, j int) []int {
+			pr, _ := r.Get(ps.local[j]).(machine.PeekResult)
 			var vec []int
 			for _, beta := range topo.VLabels {
 				if topo.InitOfVar[beta] == pr.Init {
@@ -422,17 +480,19 @@ func Algorithm2(topo *Topology, opts Options) (*machine.Program, error) {
 	return b.Build()
 }
 
-// phaseInit supplies the suspect-set initializers for a phase.
+// phaseInit supplies the suspect-set initializers for a phase. The
+// closures receive the register view plus (for VEC) the name index; the
+// phase's own slots are reachable through the phaseSyms the caller built.
 type phaseInit struct {
-	initPEC func(loc machine.Locals) []int
-	initVEC func(loc machine.Locals, n system.Name) []int
+	initPEC func(r *machine.Regs) []int
+	initVEC func(r *machine.Regs, j int) []int
 }
 
 // emitPhase generates one full Algorithm 2 phase: initialization, an
 // initial post of the starting suspects, the peek/alibi/post loop, and a
 // resolution block that stores the learned label (and per-variable labels
 // when resolved) and optionally selects.
-func emitPhase(g *gen, topo *Topology, phase int, opts Options, init phaseInit, next string) {
+func emitPhase(g *gen, topo *Topology, phase int, opts Options, ps *phaseSyms, init phaseInit, next string) {
 	b := g.b
 	names := topo.Names
 
@@ -441,24 +501,24 @@ func emitPhase(g *gen, topo *Topology, phase int, opts Options, init phaseInit, 
 	for _, n := range names {
 		g.emitPeek(n, keyLocal(phase, n))
 	}
-	b.Compute(func(loc machine.Locals) {
-		loc[keyPEC(phase)] = init.initPEC(loc)
-		for _, n := range names {
-			loc[keyVEC(phase, n)] = init.initVEC(loc, n)
+	b.Compute(func(r *machine.Regs) {
+		r.Set(ps.pec, init.initPEC(r))
+		for j := range names {
+			r.Set(ps.vec[j], init.initVEC(r, j))
 		}
 	})
 	// Initial post: make the starting suspects visible even if we
 	// already know our label (neighbors may need our resolved post).
-	emitPosts(g, topo, phase)
+	emitPosts(g, topo, phase, ps)
 
 	b.Label(lbl(phase, "loop"))
-	b.JumpIf(func(loc machine.Locals) bool {
-		if len(loc[keyPEC(phase)].([]int)) > 1 {
+	b.JumpIf(func(r *machine.Regs) bool {
+		if len(r.Get(ps.pec).([]int)) > 1 {
 			return false
 		}
 		if opts.RequireVarResolution {
-			for _, n := range names {
-				if len(loc[keyVEC(phase, n)].([]int)) > 1 {
+			for j := range names {
+				if len(r.Get(ps.vec[j]).([]int)) > 1 {
 					return false
 				}
 			}
@@ -469,54 +529,58 @@ func emitPhase(g *gen, topo *Topology, phase int, opts Options, init phaseInit, 
 	for _, n := range names {
 		g.emitPeek(n, keyLocal(phase, n))
 	}
-	b.Compute(func(loc machine.Locals) {
-		for _, n := range names {
-			pr, ok := loc[keyLocal(phase, n)].(machine.PeekResult)
+	b.Compute(func(r *machine.Regs) {
+		for j := range names {
+			pr, ok := r.Get(ps.local[j]).(machine.PeekResult)
 			if !ok {
 				continue
 			}
-			vec := loc[keyVEC(phase, n)].([]int)
-			loc[keyVEC(phase, n)] = intset.Diff(vec, vAlibi(topo, pr, phase))
+			vec := r.Get(ps.vec[j]).([]int)
+			r.Set(ps.vec[j], intset.Diff(vec, vAlibi(topo, pr, phase)))
 		}
 	})
-	b.Compute(func(loc machine.Locals) {
-		pec := loc[keyPEC(phase)].([]int)
-		loc[keyPEC(phase)] = intset.Diff(pec, pAlibi(topo, loc, phase))
+	b.Compute(func(r *machine.Regs) {
+		pec := r.Get(ps.pec).([]int)
+		r.Set(ps.pec, intset.Diff(pec, pAlibi(topo, r, ps, phase)))
 	})
-	emitPosts(g, topo, phase)
+	emitPosts(g, topo, phase, ps)
 	b.Jump(lbl(phase, "loop"))
 
 	b.Label(lbl(phase, "done"))
-	b.Compute(func(loc machine.Locals) {
-		pec := loc[keyPEC(phase)].([]int)
+	b.Compute(func(r *machine.Regs) {
+		pec := r.Get(ps.pec).([]int)
 		if len(pec) == 1 {
-			loc[labelKey(phase)] = pec[0]
+			r.Set(ps.label, pec[0])
 		}
-		for _, n := range names {
-			vec := loc[keyVEC(phase, n)].([]int)
+		for j := range names {
+			vec := r.Get(ps.vec[j]).([]int)
 			if len(vec) == 1 {
-				loc[varLabelKey(phase, n)] = vec[0]
+				r.Set(ps.varLabel[j], vec[0])
 			}
 		}
-		loc["done"] = true
+		r.Set(ps.done, true)
 		if len(opts.Elite) > 0 && len(pec) == 1 && intset.Contains(opts.Elite, pec[0]) {
-			loc["selected"] = true
+			r.Set(ps.selected, true)
 		}
 	})
 	// One final post so neighbors see our resolved state.
-	emitPosts(g, topo, phase)
+	emitPosts(g, topo, phase, ps)
 	b.Jump(next)
 }
 
-func emitPosts(g *gen, topo *Topology, phase int) {
-	for _, n := range topo.Names {
+func emitPosts(g *gen, topo *Topology, phase int, ps *phaseSyms) {
+	// Phase-2 posts carry the phase-1 label so laggards can count
+	// resolved posters; interning labelKey(1) here is idempotent.
+	label1 := g.b.Sym(labelKey(1))
+	for j, n := range topo.Names {
 		n := n
-		g.b.Compute(func(loc machine.Locals) {
+		outS := ps.out[j]
+		g.b.Compute(func(r *machine.Regs) {
 			l1 := -1
-			if v, ok := loc[labelKey(1)].(int); ok {
+			if v, ok := r.Get(label1).(int); ok {
 				l1 = v
 			}
-			loc[keyOut(phase, n)] = postValue(loc[keyPEC(phase)].([]int), n, phase, l1)
+			r.Set(outS, postValue(r.Get(ps.pec).([]int), n, phase, l1))
 		})
 		g.emitPost(n, keyOut(phase, n))
 	}

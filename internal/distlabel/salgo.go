@@ -118,16 +118,16 @@ func sVAlibi(topo *Topology, seen []any) []int {
 // sPAlibi keeps the structural half of p-alibi: α is ruled out when, for
 // some name n, α's n-neighbor label is no longer suspected for our
 // n-variable.
-func sPAlibi(topo *Topology, loc machine.Locals) []int {
+func sPAlibi(topo *Topology, r *machine.Regs, ss *sSyms) []int {
 	alibis := make(map[int]bool)
 	for _, alpha := range topo.PLabels {
-		for j, n := range topo.Names {
+		for j := range topo.Names {
 			beta, ok := topo.NbrLabel[[2]int{alpha, j}]
 			if !ok {
 				alibis[alpha] = true
 				break
 			}
-			vec, _ := loc[sKeyVEC(n)].([]int)
+			vec, _ := r.Get(ss.vec[j]).([]int)
 			if vec != nil && !intset.Contains(vec, beta) {
 				alibis[alpha] = true
 				break
@@ -143,6 +143,42 @@ func sKeyVinit(n system.Name) string { return fmt.Sprintf("sVinit_%s", n) }
 func sKeyOut(n system.Name) string   { return fmt.Sprintf("sOut_%s", n) }
 func sKeyRaw(n system.Name) string   { return fmt.Sprintf("sRaw_%s", n) }
 
+// sSyms pre-interns Algorithm 2-S's dynamically-named locals (one set per
+// name, in name-index order) plus its scalar slots.
+type sSyms struct {
+	pec      machine.Sym
+	label    machine.Sym
+	done     machine.Sym
+	selected machine.Sym
+	vec      []machine.Sym
+	seen     []machine.Sym
+	vinit    []machine.Sym
+	out      []machine.Sym
+	raw      []machine.Sym
+}
+
+func newSSyms(b *machine.Builder, names []system.Name) *sSyms {
+	ss := &sSyms{
+		pec:      b.Sym("PEC1"),
+		label:    b.Sym("label1"),
+		done:     b.Sym("done"),
+		selected: b.Sym("selected"),
+		vec:      make([]machine.Sym, len(names)),
+		seen:     make([]machine.Sym, len(names)),
+		vinit:    make([]machine.Sym, len(names)),
+		out:      make([]machine.Sym, len(names)),
+		raw:      make([]machine.Sym, len(names)),
+	}
+	for j, n := range names {
+		ss.vec[j] = b.Sym(sKeyVEC(n))
+		ss.seen[j] = b.Sym(sKeySeen(n))
+		ss.vinit[j] = b.Sym(sKeyVinit(n))
+		ss.out[j] = b.Sym(sKeyOut(n))
+		ss.raw[j] = b.Sym(sKeyRaw(n))
+	}
+	return ss
+}
+
 // Algorithm2S generates the S-instruction-set label-learning program for
 // a system whose set-rule similarity structure is topo (build it with
 // TopologyFromSystem over the RuleSetS labeling). Processors end with
@@ -150,47 +186,48 @@ func sKeyRaw(n system.Name) string   { return fmt.Sprintf("sRaw_%s", n) }
 func Algorithm2S(topo *Topology, opts Options) (*machine.Program, error) {
 	b := machine.NewBuilder()
 	names := topo.Names
+	ss := newSSyms(b, names)
 
 	// Initial reads: capture variable initial states where still
 	// visible; otherwise they arrive later through posts.
 	for _, n := range names {
 		b.Read(n, sKeyRaw(n))
 	}
-	b.Compute(func(loc machine.Locals) {
-		init, _ := loc["init"].(string)
+	b.Compute(func(r *machine.Regs) {
+		init, _ := r.Get(machine.SymInit).(string)
 		var pec []int
 		for _, alpha := range topo.PLabels {
 			if topo.InitOfProc[alpha] == init {
 				pec = append(pec, alpha)
 			}
 		}
-		loc["PEC1"] = intset.Of(pec...)
-		for _, n := range names {
-			if raw, ok := loc[sKeyRaw(n)].(string); ok {
-				loc[sKeyVinit(n)] = raw
+		r.Set(ss.pec, intset.Of(pec...))
+		for j := range names {
+			if raw, ok := r.Get(ss.raw[j]).(string); ok {
+				r.Set(ss.vinit[j], raw)
 			}
-			loc[sKeySeen(n)] = []any{}
-			loc[sKeyVEC(n)] = append([]int(nil), topo.VLabels...)
+			r.Set(ss.seen[j], []any{})
+			r.Set(ss.vec[j], append([]int(nil), topo.VLabels...))
 		}
 	})
 
 	b.Label("loop")
-	b.JumpIf(func(loc machine.Locals) bool {
-		return len(loc["PEC1"].([]int)) == 1
+	b.JumpIf(func(r *machine.Regs) bool {
+		return len(r.Get(ss.pec).([]int)) == 1
 	}, "done")
-	emitSRound(b, topo)
+	emitSRound(b, topo, ss)
 	b.Jump("loop")
 
 	b.Label("done")
-	b.Compute(func(loc machine.Locals) {
-		pec := loc["PEC1"].([]int)
+	b.Compute(func(r *machine.Regs) {
+		pec := r.Get(ss.pec).([]int)
 		if len(pec) == 1 {
-			loc["label1"] = pec[0]
+			r.Set(ss.label, pec[0])
 			if len(opts.Elite) > 0 && intset.Contains(opts.Elite, pec[0]) {
-				loc["selected"] = true
+				r.Set(ss.selected, true)
 			}
 		}
-		loc["done"] = true
+		r.Set(ss.done, true)
 	})
 	// Perpetual refresh: in S a post lives only until the next write to
 	// the variable, so a processor that stopped writing could have its
@@ -198,30 +235,30 @@ func Algorithm2S(topo *Topology, opts Options) (*machine.Program, error) {
 	// Resolved processors therefore keep re-publishing — the Q version
 	// gets this persistence for free from its multiset variables.
 	b.Label("refresh")
-	emitSWrites(b, topo)
+	emitSWrites(b, topo, ss)
 	b.Jump("refresh")
 	return b.Build()
 }
 
 // emitSRound emits one observe/refine/publish round.
-func emitSRound(b *machine.Builder, topo *Topology) {
+func emitSRound(b *machine.Builder, topo *Topology, ss *sSyms) {
 	names := topo.Names
 	for _, n := range names {
 		b.Read(n, sKeyRaw(n))
 	}
-	b.Compute(func(loc machine.Locals) {
-		for _, n := range names {
-			raw := loc[sKeyRaw(n)]
+	b.Compute(func(r *machine.Regs) {
+		for j := range names {
+			raw := r.Get(ss.raw[j])
 			post, ok := parseSPost(raw)
 			if !ok {
 				continue
 			}
 			// Adopt the initial value relayed through posts.
-			if _, have := loc[sKeyVinit(n)]; !have && post.vinit != "" {
-				loc[sKeyVinit(n)] = post.vinit
+			if !r.Has(ss.vinit[j]) && post.vinit != "" {
+				r.Set(ss.vinit[j], post.vinit)
 			}
 			// Accumulate the observation set (replace, never mutate).
-			seen, _ := loc[sKeySeen(n)].([]any)
+			seen, _ := r.Get(ss.seen[j]).([]any)
 			key := canon.String(raw)
 			dup := false
 			for _, old := range seen {
@@ -234,13 +271,13 @@ func emitSRound(b *machine.Builder, topo *Topology) {
 				next := make([]any, 0, len(seen)+1)
 				next = append(next, seen...)
 				next = append(next, raw)
-				loc[sKeySeen(n)] = next
+				r.Set(ss.seen[j], next)
 			}
 		}
 		// Refine VEC: initial-state filter once known, then set alibis.
-		for _, n := range names {
-			vec := loc[sKeyVEC(n)].([]int)
-			if vinit, ok := loc[sKeyVinit(n)].(string); ok {
+		for j := range names {
+			vec := r.Get(ss.vec[j]).([]int)
+			if vinit, ok := r.Get(ss.vinit[j]).(string); ok {
 				var keep []int
 				for _, beta := range vec {
 					if topo.InitOfVar[beta] == vinit {
@@ -249,21 +286,22 @@ func emitSRound(b *machine.Builder, topo *Topology) {
 				}
 				vec = intset.Of(keep...)
 			}
-			seen, _ := loc[sKeySeen(n)].([]any)
-			loc[sKeyVEC(n)] = intset.Diff(vec, sVAlibi(topo, seen))
+			seen, _ := r.Get(ss.seen[j]).([]any)
+			r.Set(ss.vec[j], intset.Diff(vec, sVAlibi(topo, seen)))
 		}
-		pec := loc["PEC1"].([]int)
-		loc["PEC1"] = intset.Diff(pec, sPAlibi(topo, loc))
+		pec := r.Get(ss.pec).([]int)
+		r.Set(ss.pec, intset.Diff(pec, sPAlibi(topo, r, ss)))
 	})
-	emitSWrites(b, topo)
+	emitSWrites(b, topo, ss)
 }
 
-func emitSWrites(b *machine.Builder, topo *Topology) {
-	for _, n := range topo.Names {
+func emitSWrites(b *machine.Builder, topo *Topology, ss *sSyms) {
+	for j, n := range topo.Names {
 		n := n
-		b.Compute(func(loc machine.Locals) {
-			vinit, _ := loc[sKeyVinit(n)].(string)
-			loc[sKeyOut(n)] = sPost(loc["PEC1"].([]int), n, vinit)
+		outS, vinitS, pecS := ss.out[j], ss.vinit[j], ss.pec
+		b.Compute(func(r *machine.Regs) {
+			vinit, _ := r.Get(vinitS).(string)
+			r.Set(outS, sPost(r.Get(pecS).([]int), n, vinit))
 		})
 		b.Write(n, sKeyOut(n))
 	}

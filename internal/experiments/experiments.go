@@ -431,13 +431,14 @@ func E7FLP() (*Table, error) {
 	}
 	s := system.Fig1()
 	b := machine.NewBuilder()
+	x, selectedS, markS := b.Sym("x"), b.Sym("selected"), b.Sym("mark")
 	b.Read("n", "x")
-	b.Compute(func(loc machine.Locals) {
-		if loc["x"] == "0" {
-			loc["selected"] = true
-			loc["mark"] = "taken"
+	b.Compute(func(r *machine.Regs) {
+		if r.Get(x) == "0" {
+			r.Set(selectedS, true)
+			r.Set(markS, "taken")
 		} else {
-			loc["mark"] = "seen"
+			r.Set(markS, "seen")
 		}
 	})
 	b.Write("n", "mark")

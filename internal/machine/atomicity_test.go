@@ -62,7 +62,8 @@ func TestStepMissingLocalAfterProgressKeepsEarlierState(t *testing.T) {
 	// Fail mid-program: earlier successful steps must be preserved
 	// exactly while the failing one is rolled up into a no-op.
 	b := NewBuilder()
-	b.Compute(func(loc Locals) { loc["x"] = "seen" })
+	x := b.Sym("x")
+	b.Compute(func(r *Regs) { r.Set(x, "seen") })
 	b.Write("n", "missing")
 	b.Halt()
 	prog, err := b.Build()

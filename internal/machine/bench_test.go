@@ -6,25 +6,121 @@ import (
 	"simsym/internal/system"
 )
 
-// BenchmarkStepQ measures raw per-instruction cost of the Q machine on a
-// post/peek loop.
-func BenchmarkStepQ(b *testing.B) {
-	s := system.Fig2()
+// benchMachine builds a machine over Fig2 for micro-benchmarks.
+func benchMachine(b *testing.B, instr system.InstrSet, build func(bl *Builder)) *Machine {
+	b.Helper()
 	bl := NewBuilder()
-	bl.Label("loop")
-	bl.Post("n", "init")
-	bl.Peek("n", "x")
-	bl.Post("m", "init")
-	bl.Peek("m", "y")
-	bl.Jump("loop")
+	build(bl)
 	prog, err := bl.Build()
 	if err != nil {
 		b.Fatal(err)
 	}
-	m, err := New(s, system.InstrQ, prog)
+	m, err := New(system.Fig2(), instr, prog)
 	if err != nil {
 		b.Fatal(err)
 	}
+	return m
+}
+
+// BenchmarkStepQ measures raw per-instruction cost of the Q machine on a
+// post/peek loop.
+func BenchmarkStepQ(b *testing.B) {
+	m := benchMachine(b, system.InstrQ, func(bl *Builder) {
+		bl.Label("loop")
+		bl.Post("n", "init")
+		bl.Peek("n", "x")
+		bl.Post("m", "init")
+		bl.Peek("m", "y")
+		bl.Jump("loop")
+	})
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		if err := m.Step(i % 3); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// Per-instruction-class step benches: these pin the acceptance criterion
+// that the compiled Step does no map operations and no name resolutions —
+// 0 allocs/op on the jump paths, ≤1 alloc/op on locals-mutating paths
+// (the single alloc being value boxing where it occurs, not frame or
+// operand bookkeeping).
+
+// BenchmarkStepReadWrite measures an S-machine read/write loop.
+func BenchmarkStepReadWrite(b *testing.B) {
+	m := benchMachine(b, system.InstrS, func(bl *Builder) {
+		bl.Label("loop")
+		bl.Write("n", "init")
+		bl.Read("n", "x")
+		bl.Jump("loop")
+	})
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		if err := m.Step(i % 3); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// BenchmarkStepLockUnlock measures an L-machine lock/unlock loop.
+func BenchmarkStepLockUnlock(b *testing.B) {
+	m := benchMachine(b, system.InstrL, func(bl *Builder) {
+		bl.Label("loop")
+		bl.Lock("n", "got")
+		bl.Unlock("n")
+		bl.Jump("loop")
+	})
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		if err := m.Step(i % 3); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// BenchmarkStepCompute measures a pure local computation loop.
+func BenchmarkStepCompute(b *testing.B) {
+	m := benchMachine(b, system.InstrS, func(bl *Builder) {
+		n := bl.Sym("n")
+		bl.Compute(func(r *Regs) { r.Set(n, 0) })
+		bl.Label("loop")
+		bl.Compute(func(r *Regs) { r.Set(n, (r.Int(n)+1)%128) })
+		bl.Jump("loop")
+	})
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		if err := m.Step(i % 3); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// BenchmarkStepJump measures the pure control-flow path: an unconditional
+// jump self-loop. Must be 0 allocs/op.
+func BenchmarkStepJump(b *testing.B) {
+	m := benchMachine(b, system.InstrS, func(bl *Builder) {
+		bl.Label("loop")
+		bl.Jump("loop")
+	})
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		if err := m.Step(i % 3); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// BenchmarkStepJumpIf measures the conditional control-flow path: a
+// JumpIf whose condition reads a slot. Must be 0 allocs/op.
+func BenchmarkStepJumpIf(b *testing.B) {
+	m := benchMachine(b, system.InstrS, func(bl *Builder) {
+		n := bl.Sym("n")
+		bl.Compute(func(r *Regs) { r.Set(n, 1) })
+		bl.Label("loop")
+		bl.JumpIf(func(r *Regs) bool { return r.Int(n) > 0 }, "loop")
+		bl.Halt()
+	})
 	b.ReportAllocs()
 	for i := 0; i < b.N; i++ {
 		if err := m.Step(i % 3); err != nil {
@@ -36,20 +132,12 @@ func BenchmarkStepQ(b *testing.B) {
 // BenchmarkFingerprint measures the incremental whole-state fingerprint
 // after single steps (the model checker's hot path).
 func BenchmarkFingerprint(b *testing.B) {
-	s := system.Fig2()
-	bl := NewBuilder()
-	bl.Label("loop")
-	bl.Post("n", "init")
-	bl.Peek("n", "x")
-	bl.Jump("loop")
-	prog, err := bl.Build()
-	if err != nil {
-		b.Fatal(err)
-	}
-	m, err := New(s, system.InstrQ, prog)
-	if err != nil {
-		b.Fatal(err)
-	}
+	m := benchMachine(b, system.InstrQ, func(bl *Builder) {
+		bl.Label("loop")
+		bl.Post("n", "init")
+		bl.Peek("n", "x")
+		bl.Jump("loop")
+	})
 	b.ReportAllocs()
 	for i := 0; i < b.N; i++ {
 		if err := m.Step(i % 3); err != nil {
@@ -61,19 +149,12 @@ func BenchmarkFingerprint(b *testing.B) {
 
 // BenchmarkClone measures snapshot cost (copy-on-write sharing).
 func BenchmarkClone(b *testing.B) {
-	s := system.Fig2()
-	bl := NewBuilder()
-	bl.Compute(func(loc Locals) { loc["a"] = 1; loc["b"] = "x" })
-	bl.Post("n", "init")
-	bl.Halt()
-	prog, err := bl.Build()
-	if err != nil {
-		b.Fatal(err)
-	}
-	m, err := New(s, system.InstrQ, prog)
-	if err != nil {
-		b.Fatal(err)
-	}
+	m := benchMachine(b, system.InstrQ, func(bl *Builder) {
+		a, x := bl.Sym("a"), bl.Sym("b")
+		bl.Compute(func(r *Regs) { r.Set(a, 1); r.Set(x, "x") })
+		bl.Post("n", "init")
+		bl.Halt()
+	})
 	for p := 0; p < 3; p++ {
 		for k := 0; k < 3; k++ {
 			if err := m.Step(p); err != nil {
@@ -84,5 +165,29 @@ func BenchmarkClone(b *testing.B) {
 	b.ReportAllocs()
 	for i := 0; i < b.N; i++ {
 		_ = m.Clone()
+	}
+}
+
+// BenchmarkCloneStep measures the model checker's expansion unit: clone a
+// machine and execute one locals-mutating step on the clone (the
+// copy-on-write copy happens here).
+func BenchmarkCloneStep(b *testing.B) {
+	m := benchMachine(b, system.InstrQ, func(bl *Builder) {
+		bl.Label("loop")
+		bl.Post("n", "init")
+		bl.Peek("n", "x")
+		bl.Jump("loop")
+	})
+	for p := 0; p < 3; p++ {
+		if err := m.Step(p); err != nil {
+			b.Fatal(err)
+		}
+	}
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		c := m.Clone()
+		if err := c.Step(i % 3); err != nil {
+			b.Fatal(err)
+		}
 	}
 }

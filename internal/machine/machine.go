@@ -20,20 +20,64 @@ var (
 	ErrBadInstrSet     = errors.New("machine: unsupported instruction set")
 )
 
+// String names the opcode for error messages.
+func (k opKind) String() string {
+	switch k {
+	case opRead:
+		return "read"
+	case opWrite:
+		return "write"
+	case opLock:
+		return "lock"
+	case opUnlock:
+		return "unlock"
+	case opPeek:
+		return "peek"
+	case opPost:
+		return "post"
+	case opCompute:
+		return "compute"
+	case opJumpIf:
+		return "jumpif"
+	case opJump:
+		return "jump"
+	case opHalt:
+		return "halt"
+	default:
+		return fmt.Sprintf("opKind(%d)", int(k))
+	}
+}
+
 // Frame is one processor's private state: program counter plus locals.
 // The frame never records the processor's identity — processors are
 // anonymous, and programs can only distinguish themselves through what
 // they observe.
+//
+// Locals is a slot slice indexed by Sym (the program's symbol table);
+// unassigned slots hold the package-private unset sentinel. The slice is
+// copy-on-write: Clone shares it between machines and the first mutating
+// step afterwards copies it, so model-checker expansion stays cheap.
 type Frame struct {
 	PC     int
-	Locals Locals
+	Locals []any
 	Halted bool
+
+	// owned reports that Locals is exclusively this frame's: mutating
+	// steps may write in place. Meaningful only while the machine owns
+	// its frames array (procsOwned); cowProcs resets it when the array
+	// itself is copied after a Clone.
+	owned bool
 }
 
-// qVar is the state of a Q multiset variable: one subvalue per processor
-// that has posted (keyed by processor only for updates; fingerprints see
-// the unordered multiset, as the paper requires).
-type qVar map[int]any
+// cow makes fr.Locals private to this frame, copying once after a Clone
+// and never again until the next Clone.
+func (fr *Frame) cow() {
+	if fr.owned {
+		return
+	}
+	fr.Locals = append([]any(nil), fr.Locals...)
+	fr.owned = true
+}
 
 // Machine executes a program over a system.
 type Machine struct {
@@ -41,12 +85,34 @@ type Machine struct {
 	instr   system.InstrSet
 	program *Program
 
+	// bound[p][pc] is the variable index processor p touches at pc — the
+	// paper's n-nbr function evaluated once at construction, so Step never
+	// resolves a name. Entries for local instructions are unused. Shared
+	// (immutable) between clones.
+	bound [][]int32
+	// allowedKind[k] caches instruction-set legality per opcode.
+	allowedKind [opHalt + 1]bool
+
 	frames []Frame
 	// S/L variables: one value each, plus a lock bit for L.
 	varVal []any
 	locked []bool
-	// Q variables: per-processor subvalues.
-	varSub []qVar
+	// Q variables: one subvalue slot per processor (unset sentinel when
+	// the processor has not posted). Copy-on-write like frame locals:
+	// subOwned[v] reports the slice is private to this machine.
+	varSub   [][]any
+	subOwned []bool
+
+	// procsOwned and varsOwned are machine-level copy-on-write bits over
+	// the backing arrays themselves, making Clone O(1): procsOwned guards
+	// frames/procFP/crashed, varsOwned guards varVal/locked/varSub/
+	// subOwned/varFP. Clone clears both bits on both machines and shares
+	// every array; the first mutating step afterwards copies just the
+	// group it touches (cowProcs/cowVars). When an array group is shared,
+	// its finer-grained ownership bits (Frame.owned, subOwned) are stale
+	// and ignored — the cow of the outer array resets them.
+	procsOwned bool
+	varsOwned  bool
 
 	steps int
 
@@ -63,6 +129,15 @@ type Machine struct {
 	procFP []string
 	varFP  []string
 
+	// selSym is the slot of the conventional "selected" local, or -1 when
+	// the program never interns it.
+	selSym Sym
+
+	// regs is the scratch register view lent to Compute/JumpIf closures;
+	// keeping it on the machine avoids a per-step allocation. Closures
+	// must not retain it past their call.
+	regs Regs
+
 	// rec, when non-nil, observes streamed execution: RunWith emits one
 	// KindSchedStep event per executed step and a machine.steps counter.
 	// Step itself is never instrumented — it is the model checker's inner
@@ -70,9 +145,51 @@ type Machine struct {
 	rec *obs.Recorder
 }
 
-// New initializes a machine: every processor at PC 0 with locals
-// {"init": ProcInit[p]}, every S/L variable holding its initial state,
-// every Q variable with no subvalues.
+// isSharedKind reports whether the opcode addresses a shared variable.
+func isSharedKind(k opKind) bool { return k >= opRead && k <= opPost }
+
+// cowProcs makes the processor-side arrays (frames, procFP, crashed)
+// private to this machine, copying once after a Clone. The fresh frame
+// copies drop their owned bits: their Locals slices are still shared.
+func (m *Machine) cowProcs() {
+	if m.procsOwned {
+		return
+	}
+	frames := make([]Frame, len(m.frames))
+	copy(frames, m.frames)
+	for i := range frames {
+		frames[i].owned = false
+	}
+	m.frames = frames
+	m.procFP = append([]string(nil), m.procFP...)
+	m.crashed = append([]bool(nil), m.crashed...)
+	m.procsOwned = true
+}
+
+// cowVars makes the variable-side arrays (varVal, locked, varSub,
+// subOwned, varFP) private to this machine. subOwned restarts zeroed:
+// the inner subvalue slices are still shared and must be copied on the
+// next post to each.
+func (m *Machine) cowVars() {
+	if m.varsOwned {
+		return
+	}
+	m.varVal = append([]any(nil), m.varVal...)
+	m.locked = append([]bool(nil), m.locked...)
+	m.varSub = append([][]any(nil), m.varSub...)
+	m.subOwned = make([]bool, len(m.subOwned))
+	m.varFP = append([]string(nil), m.varFP...)
+	m.varsOwned = true
+}
+
+// New initializes a machine: every processor at PC 0 with local slot
+// "init" holding ProcInit[p], every S/L variable holding its initial
+// state, every Q variable with no subvalues.
+//
+// New also binds the compiled program to the system: every shared-variable
+// operand resolves through the naming function here, once, filling the
+// [proc][pc] variable-index table that Step indexes. A program that names
+// a variable the system does not define fails here, not at step time.
 func New(sys *system.System, instr system.InstrSet, program *Program) (*Machine, error) {
 	if err := sys.Validate(); err != nil {
 		return nil, fmt.Errorf("machine: %w", err)
@@ -82,24 +199,84 @@ func New(sys *system.System, instr system.InstrSet, program *Program) (*Machine,
 	default:
 		return nil, fmt.Errorf("%w: %v", ErrBadInstrSet, instr)
 	}
+	np, nv := sys.NumProcs(), sys.NumVars()
 	m := &Machine{
-		sys:     sys,
-		instr:   instr,
-		program: program,
-		frames:  make([]Frame, sys.NumProcs()),
-		varVal:  make([]any, sys.NumVars()),
-		locked:  make([]bool, sys.NumVars()),
-		varSub:  make([]qVar, sys.NumVars()),
-		crashed: make([]bool, sys.NumProcs()),
-		procFP:  make([]string, sys.NumProcs()),
-		varFP:   make([]string, sys.NumVars()),
+		sys:      sys,
+		instr:    instr,
+		program:  program,
+		frames:   make([]Frame, np),
+		varVal:   make([]any, nv),
+		locked:   make([]bool, nv),
+		varSub:   make([][]any, nv),
+		subOwned: make([]bool, nv),
+		crashed:  make([]bool, np),
+		procFP:   make([]string, np),
+		varFP:    make([]string, nv),
+		selSym:   -1,
+		// Freshly built machines own every backing array.
+		procsOwned: true,
+		varsOwned:  true,
 	}
+	if s, ok := program.symIdx["selected"]; ok {
+		m.selSym = s
+	}
+	ns := program.NumSyms()
 	for p := range m.frames {
-		m.frames[p] = Frame{Locals: Locals{"init": sys.ProcInit[p]}}
+		locals := make([]any, ns)
+		for i := range locals {
+			locals[i] = unset
+		}
+		locals[SymInit] = sys.ProcInit[p]
+		m.frames[p] = Frame{Locals: locals, owned: true}
 	}
 	for v := range m.varVal {
 		m.varVal[v] = sys.VarInit[v]
-		m.varSub[v] = make(qVar)
+		sub := make([]any, np)
+		for i := range sub {
+			sub[i] = unset
+		}
+		m.varSub[v] = sub
+		m.subOwned[v] = true
+	}
+	// Instruction-set legality per opcode (local instructions are always
+	// legal).
+	m.allowedKind[opCompute] = true
+	m.allowedKind[opJumpIf] = true
+	m.allowedKind[opJump] = true
+	m.allowedKind[opHalt] = true
+	switch instr {
+	case system.InstrS:
+		m.allowedKind[opRead] = true
+		m.allowedKind[opWrite] = true
+	case system.InstrL, system.InstrExtL:
+		m.allowedKind[opRead] = true
+		m.allowedKind[opWrite] = true
+		m.allowedKind[opLock] = true
+		m.allowedKind[opUnlock] = true
+	case system.InstrQ:
+		m.allowedKind[opPeek] = true
+		m.allowedKind[opPost] = true
+	}
+	// Pre-bind shared operands: one NameIndex resolution per instruction,
+	// one Nbr row walk per processor, never again.
+	nc := program.Len()
+	flat := make([]int32, np*nc)
+	m.bound = make([][]int32, np)
+	for p := 0; p < np; p++ {
+		m.bound[p] = flat[p*nc : (p+1)*nc : (p+1)*nc]
+	}
+	for pc := range program.code {
+		o := &program.code[pc]
+		if !isSharedKind(o.kind) {
+			continue
+		}
+		j, err := sys.NameIndex(o.name)
+		if err != nil {
+			return nil, fmt.Errorf("machine: pc %d: %w", pc, err)
+		}
+		for p := 0; p < np; p++ {
+			m.bound[p][pc] = int32(sys.Nbr[p][j])
+		}
 	}
 	return m, nil
 }
@@ -111,6 +288,9 @@ func (m *Machine) Observe(rec *obs.Recorder) { m.rec = rec }
 
 // System returns the underlying system.
 func (m *Machine) System() *system.System { return m.sys }
+
+// Program returns the compiled program the machine runs.
+func (m *Machine) Program() *Program { return m.program }
 
 // NumProcs returns the number of processors.
 func (m *Machine) NumProcs() int { return len(m.frames) }
@@ -134,150 +314,161 @@ func (m *Machine) AllHalted() bool {
 	return true
 }
 
-// Local returns processor p's local value (nil, false when unset).
+// Local returns processor p's local value (nil, false when unset). This
+// is the introspection path — assertions, harness predicates, display —
+// and resolves the name through the program's symbol table; compiled
+// execution never goes through here.
 func (m *Machine) Local(p int, name string) (any, bool) {
-	v, ok := m.frames[p].Locals[name]
-	return v, ok
-}
-
-// allowed reports whether instruction in is legal under m.instr.
-func (m *Machine) allowed(in Instr) bool {
-	switch in.(type) {
-	case Read, Write:
-		return m.instr == system.InstrS || m.instr == system.InstrL || m.instr == system.InstrExtL
-	case Lock, Unlock:
-		return m.instr == system.InstrL || m.instr == system.InstrExtL
-	case Peek, Post:
-		return m.instr == system.InstrQ
-	default:
-		return true // local instructions always allowed
+	s, ok := m.program.symIdx[name]
+	if !ok {
+		return nil, false
 	}
+	v := m.frames[p].Locals[s]
+	if v == unset {
+		return nil, false
+	}
+	return v, true
 }
 
 // Step executes one atomic instruction of processor p (a schedule step).
 // Stepping a halted processor is a legal no-op, matching the paper's
 // schedules which may name any processor at any time.
 //
-// Step is atomic on failure: every input (neighbor resolution, local
-// lookups, instruction-set membership) is validated before the first
-// mutation, so a Step that returns an error leaves the step counter, the
-// fingerprint caches, and the machine state exactly as they were.
+// Step is atomic on failure: every input (local lookups, instruction-set
+// membership) is validated before the first mutation, so a Step that
+// returns an error leaves the step counter, the fingerprint caches, and
+// the machine state exactly as they were. (Shared-variable names were
+// validated and bound at New.)
+//
+// The compiled path does no map operations and no name resolutions:
+// locals are slot loads, shared operands index the pre-bound table, and
+// jump targets are instruction indices.
 func (m *Machine) Step(p int) error {
 	if p < 0 || p >= len(m.frames) {
 		return fmt.Errorf("%w: %d", ErrBadProcessor, p)
 	}
 	fr := &m.frames[p]
-	if fr.Halted || fr.PC >= m.program.Len() {
+	if fr.Halted {
+		// A halted processor's step is a counted stutter: the state is
+		// unchanged, so the cached fingerprint stays valid — don't clear it.
+		m.steps++
+		return nil
+	}
+	if fr.PC >= len(m.program.code) {
+		// Running off the end halts the processor — a real state change.
+		m.cowProcs()
+		fr = &m.frames[p]
 		m.steps++
 		m.procFP[p] = ""
 		fr.Halted = true
 		return nil
 	}
-	in := m.program.instrs[fr.PC]
-	if !m.allowed(in) {
-		return fmt.Errorf("%w: %T under %v", ErrInstrNotAllowed, in, m.instr)
+	in := &m.program.code[fr.PC]
+	if !m.allowedKind[in.kind] {
+		return fmt.Errorf("%w: %v under %v", ErrInstrNotAllowed, in.kind, m.instr)
 	}
-	// commit marks the step as happening; each case below calls it only
-	// after all of its fallible lookups have succeeded.
-	commit := func() {
+	// Every committed step mutates the frame and invalidates procFP[p]:
+	// privatize the processor-side arrays once, then re-take fr into the
+	// fresh frames array. Variable-side arrays privatize per opcode.
+	m.cowProcs()
+	fr = &m.frames[p]
+	switch in.kind {
+	case opRead:
+		v := m.bound[p][fr.PC]
 		m.steps++
 		m.procFP[p] = ""
-	}
-	switch x := in.(type) {
-	case Read:
-		v, err := m.sys.NNbr(p, x.Name)
-		if err != nil {
-			return err
-		}
-		commit()
-		fr.Locals = fr.Locals.Clone()
-		fr.Locals[x.Dst] = m.varVal[v]
+		fr.cow()
+		fr.Locals[in.sym] = m.varVal[v]
 		fr.PC++
-	case Write:
-		v, err := m.sys.NNbr(p, x.Name)
-		if err != nil {
-			return err
+	case opWrite:
+		v := m.bound[p][fr.PC]
+		val := fr.Locals[in.sym]
+		if val == unset {
+			return fmt.Errorf("%w: %q", ErrMissingLocal, m.program.names[in.sym])
 		}
-		val, ok := fr.Locals[x.Src]
-		if !ok {
-			return fmt.Errorf("%w: %q", ErrMissingLocal, x.Src)
-		}
-		commit()
+		m.steps++
+		m.procFP[p] = ""
+		m.cowVars()
 		m.varVal[v] = val
 		m.varFP[v] = ""
 		fr.PC++
-	case Lock:
-		v, err := m.sys.NNbr(p, x.Name)
-		if err != nil {
-			return err
-		}
-		commit()
-		fr.Locals = fr.Locals.Clone()
+	case opLock:
+		v := m.bound[p][fr.PC]
+		m.steps++
+		m.procFP[p] = ""
+		fr.cow()
 		if m.locked[v] {
-			fr.Locals[x.Dst] = false
+			fr.Locals[in.sym] = false
 		} else {
+			m.cowVars()
 			m.locked[v] = true
 			m.varFP[v] = ""
-			fr.Locals[x.Dst] = true
+			fr.Locals[in.sym] = true
 		}
 		fr.PC++
-	case Unlock:
-		v, err := m.sys.NNbr(p, x.Name)
-		if err != nil {
-			return err
-		}
-		commit()
+	case opUnlock:
+		v := m.bound[p][fr.PC]
+		m.steps++
+		m.procFP[p] = ""
+		m.cowVars()
 		m.locked[v] = false
 		m.varFP[v] = ""
 		fr.PC++
-	case Peek:
-		v, err := m.sys.NNbr(p, x.Name)
-		if err != nil {
-			return err
-		}
-		commit()
-		fr.Locals = fr.Locals.Clone()
-		fr.Locals[x.Dst] = m.peekValue(v)
+	case opPeek:
+		v := m.bound[p][fr.PC]
+		m.steps++
+		m.procFP[p] = ""
+		fr.cow()
+		fr.Locals[in.sym] = m.peekValue(int(v))
 		fr.PC++
-	case Post:
-		v, err := m.sys.NNbr(p, x.Name)
-		if err != nil {
-			return err
+	case opPost:
+		v := m.bound[p][fr.PC]
+		val := fr.Locals[in.sym]
+		if val == unset {
+			return fmt.Errorf("%w: %q", ErrMissingLocal, m.program.names[in.sym])
 		}
-		val, ok := fr.Locals[x.Src]
-		if !ok {
-			return fmt.Errorf("%w: %q", ErrMissingLocal, x.Src)
-		}
-		commit()
+		m.steps++
+		m.procFP[p] = ""
+		m.cowVars()
 		// Copy-on-write so snapshots are not aliased.
-		nv := make(qVar, len(m.varSub[v])+1)
-		for k, s := range m.varSub[v] {
-			nv[k] = s
+		sub := m.varSub[v]
+		if !m.subOwned[v] {
+			sub = append([]any(nil), sub...)
+			m.varSub[v] = sub
+			m.subOwned[v] = true
 		}
-		nv[p] = val
-		m.varSub[v] = nv
+		sub[p] = val
 		m.varFP[v] = ""
 		fr.PC++
-	case Compute:
-		commit()
-		fr.Locals = fr.Locals.Clone()
-		x.F(fr.Locals)
+	case opCompute:
+		m.steps++
+		m.procFP[p] = ""
+		fr.cow()
+		m.regs.slots = fr.Locals
+		in.f(&m.regs)
+		m.regs.slots = nil
 		fr.PC++
-	case JumpIf:
-		commit()
-		if x.Cond(fr.Locals) {
-			fr.PC = m.program.targets[x.Target]
+	case opJumpIf:
+		m.steps++
+		m.procFP[p] = ""
+		m.regs.slots = fr.Locals
+		taken := in.cond(&m.regs)
+		m.regs.slots = nil
+		if taken {
+			fr.PC = in.tgt
 		} else {
 			fr.PC++
 		}
-	case Jump:
-		commit()
-		fr.PC = m.program.targets[x.Target]
-	case Halt:
-		commit()
+	case opJump:
+		m.steps++
+		m.procFP[p] = ""
+		fr.PC = in.tgt
+	case opHalt:
+		m.steps++
+		m.procFP[p] = ""
 		fr.Halted = true
 	default:
-		return fmt.Errorf("machine: unknown instruction %T", in)
+		return fmt.Errorf("machine: unknown opcode %v", in.kind)
 	}
 	return nil
 }
@@ -285,9 +476,12 @@ func (m *Machine) Step(p int) error {
 // peekValue builds the PeekResult for variable v: init state plus the
 // subvalue multiset sorted canonically (the paper's unordered multiset).
 func (m *Machine) peekValue(v int) PeekResult {
-	vals := make([]any, 0, len(m.varSub[v]))
-	for _, s := range m.varSub[v] {
-		vals = append(vals, s)
+	sub := m.varSub[v]
+	vals := make([]any, 0, len(sub))
+	for _, s := range sub {
+		if s != unset {
+			vals = append(vals, s)
+		}
 	}
 	sort.Slice(vals, func(a, b int) bool {
 		return canon.String(vals[a]) < canon.String(vals[b])
@@ -382,6 +576,7 @@ func (m *Machine) Crash(p int) error {
 		return fmt.Errorf("%w: %d", ErrBadProcessor, p)
 	}
 	if !m.frames[p].Halted {
+		m.cowProcs()
 		m.frames[p].Halted = true
 		m.crashed[p] = true
 		m.procFP[p] = ""
@@ -404,6 +599,7 @@ func (m *Machine) DropLock(v int) error {
 		return fmt.Errorf("%w: %d", ErrBadVariable, v)
 	}
 	if m.locked[v] {
+		m.cowVars()
 		m.locked[v] = false
 		m.varFP[v] = ""
 	}
@@ -413,38 +609,54 @@ func (m *Machine) DropLock(v int) error {
 // Locked reports whether variable v's lock bit is set.
 func (m *Machine) Locked(v int) bool { return m.locked[v] }
 
+// appendProcFP writes processor p's canonical encoding into buf. Slots
+// are emitted in declaration order — fixed for a given program — so no
+// name material and no sort are needed; unset slots get their own tag so
+// "never assigned" cannot alias a value.
+func (m *Machine) appendProcFP(buf []byte, p int) []byte {
+	fr := &m.frames[p]
+	buf = binary.AppendVarint(buf, int64(fr.PC))
+	if fr.Halted {
+		buf = append(buf, 1)
+	} else {
+		buf = append(buf, 0)
+	}
+	for _, v := range fr.Locals {
+		if v == unset {
+			buf = append(buf, 'u')
+		} else {
+			buf = appendLocalValue(buf, v)
+		}
+	}
+	return buf
+}
+
 // ProcFingerprint returns a canonical encoding of processor p's state
-// (program counter + locals). Two processors "have the same state" in the
-// paper's sense exactly when their fingerprints are equal. The encoding
-// is hand-rolled rather than routed through canon.String: it is the
-// model checker's per-child hot path, and the common local values
-// (bools, ints, strings) encode with a tag byte and a length prefix
-// instead of a reflective map walk. Injectivity survives because every
-// component is self-delimiting and local names are emitted in sorted
-// order.
+// (program counter + locals). Two processors running the same program
+// "have the same state" in the paper's sense exactly when their
+// fingerprints are equal. The encoding walks the local slots in
+// declaration order — injectivity survives because every component is
+// self-delimiting and the slot layout is fixed per program.
 func (m *Machine) ProcFingerprint(p int) string {
 	if m.procFP[p] == "" {
-		fr := m.frames[p]
-		buf := make([]byte, 0, 48)
-		buf = binary.AppendVarint(buf, int64(fr.PC))
-		if fr.Halted {
-			buf = append(buf, 1)
-		} else {
-			buf = append(buf, 0)
-		}
-		buf = binary.AppendUvarint(buf, uint64(len(fr.Locals)))
-		names := make([]string, 0, len(fr.Locals))
-		for k := range fr.Locals {
-			names = append(names, k)
-		}
-		sort.Strings(names)
-		for _, k := range names {
-			buf = canon.AppendLenPrefixed(buf, k)
-			buf = appendLocalValue(buf, fr.Locals[k])
-		}
-		m.procFP[p] = string(buf)
+		m.procFP[p] = string(m.appendProcFP(make([]byte, 0, 48), p))
 	}
 	return m.procFP[p]
+}
+
+// AppendProcFingerprint appends processor p's canonical fingerprint bytes
+// to buf and returns the extended slice, refreshing the cache when stale.
+// Comparing appended windows with bytes.Equal is equivalent to comparing
+// ProcFingerprint strings, without materializing strings per check —
+// trace's per-round witness scans run on reused buffers through here.
+func (m *Machine) AppendProcFingerprint(buf []byte, p int) []byte {
+	if m.procFP[p] == "" {
+		start := len(buf)
+		buf = m.appendProcFP(buf, p)
+		m.procFP[p] = string(buf[start:])
+		return buf
+	}
+	return append(buf, m.procFP[p]...)
 }
 
 // appendLocalValue appends a tagged self-delimiting encoding of a local
@@ -480,9 +692,12 @@ func (m *Machine) VarFingerprint(v int) string {
 		return m.varFP[v]
 	}
 	if m.instr == system.InstrQ {
-		ms := make(canon.Multiset, 0, len(m.varSub[v]))
-		for _, s := range m.varSub[v] {
-			ms = append(ms, s)
+		sub := m.varSub[v]
+		ms := make(canon.Multiset, 0, len(sub))
+		for _, s := range sub {
+			if s != unset {
+				ms = append(ms, s)
+			}
 		}
 		m.varFP[v] = "q" + canon.String(map[string]any{"init": m.sys.VarInit[v], "sub": ms})
 	} else {
@@ -497,6 +712,12 @@ func (m *Machine) VarFingerprint(v int) string {
 		m.varFP[v] = string(buf)
 	}
 	return m.varFP[v]
+}
+
+// AppendVarFingerprint appends variable v's canonical fingerprint bytes
+// to buf, the VarFingerprint counterpart of AppendProcFingerprint.
+func (m *Machine) AppendVarFingerprint(buf []byte, v int) []byte {
+	return append(buf, m.VarFingerprint(v)...)
 }
 
 // Fingerprint returns the canonical encoding of the whole machine state
@@ -545,14 +766,52 @@ func (m *Machine) AppendStateKey(buf []byte, procAt, varAt []int) []byte {
 	return buf
 }
 
-// localsForCanon converts Locals to a plain map for canonical encoding,
-// expanding PeekResult into a canonical shape.
-func localsForCanon(l Locals) map[string]any {
-	out := make(map[string]any, len(l))
-	for k, v := range l {
-		out[k] = valueForCanon(v)
+// ProcFingerprintOracle reproduces the pre-compilation processor encoding
+// — locals as a count-prefixed, name-sorted (name, value) list — from the
+// slot representation. It exists purely as a cross-check oracle for the
+// compiled fingerprint path (the way partition.FixpointNaive anchors the
+// interned similarity path): equality classes under the oracle encoding
+// must match equality classes under ProcFingerprint.
+func (m *Machine) ProcFingerprintOracle(p int) string {
+	fr := &m.frames[p]
+	buf := make([]byte, 0, 48)
+	buf = binary.AppendVarint(buf, int64(fr.PC))
+	if fr.Halted {
+		buf = append(buf, 1)
+	} else {
+		buf = append(buf, 0)
 	}
-	return out
+	n := 0
+	for _, v := range fr.Locals {
+		if v != unset {
+			n++
+		}
+	}
+	buf = binary.AppendUvarint(buf, uint64(n))
+	for _, s := range m.program.sortedSyms {
+		v := fr.Locals[s]
+		if v == unset {
+			continue
+		}
+		buf = canon.AppendLenPrefixed(buf, m.program.names[s])
+		buf = appendLocalValue(buf, v)
+	}
+	return string(buf)
+}
+
+// FingerprintOracle composes whole-state fingerprints from the oracle
+// processor encoding — byte-identical to the pre-compilation Fingerprint.
+// Cross-check tests compare its equality classes against Fingerprint's.
+func (m *Machine) FingerprintOracle() string {
+	procs := make([]any, len(m.frames))
+	for p := range m.frames {
+		procs[p] = m.ProcFingerprintOracle(p)
+	}
+	vars := make([]any, len(m.varVal))
+	for v := range m.varVal {
+		vars[v] = m.VarFingerprint(v)
+	}
+	return canon.String([]any{procs, vars})
 }
 
 func valueForCanon(v any) any {
@@ -564,37 +823,37 @@ func valueForCanon(v any) any {
 	return v
 }
 
-// Clone returns an independent deep copy of the machine sharing only the
-// immutable program and system.
+// Clone returns an independent snapshot of the machine in O(1): every
+// mutable array — frames, variable values, locks, subvalues, fingerprint
+// caches — is shared copy-on-write between the two machines, and the
+// first mutating step on either side copies just the array group it
+// touches. Clearing the ownership bits here covers both machines (a
+// machine is only ever touched by one goroutine at a time; the model
+// checker's parallel engine assigns each machine to exactly one worker).
+//
+// Fingerprint accessors cache into the (possibly shared) procFP/varFP
+// arrays; the cached value is a pure function of the equally shared
+// state, so a sharer observes either the empty slot or the identical
+// string. Under concurrent use the model checker's discipline applies:
+// a machine's caches are fully populated (AppendStateKey) before it is
+// ever cloned, so shared cache arrays are never written.
 func (m *Machine) Clone() *Machine {
-	c := &Machine{
-		sys:     m.sys,
-		instr:   m.instr,
-		program: m.program,
-		frames:  make([]Frame, len(m.frames)),
-		varVal:  append([]any(nil), m.varVal...),
-		locked:  append([]bool(nil), m.locked...),
-		varSub:  make([]qVar, len(m.varSub)),
-		steps:   m.steps,
-		crashed: append([]bool(nil), m.crashed...),
-		procFP:  append([]string(nil), m.procFP...),
-		varFP:   append([]string(nil), m.varFP...),
-		rec:     m.rec,
-	}
-	// Locals and subvalue maps are copy-on-write (every mutating
-	// instruction replaces the map before writing), so clones can share
-	// them; this is what makes model-checker expansion cheap.
-	copy(c.frames, m.frames)
-	copy(c.varSub, m.varSub)
-	return c
+	m.procsOwned = false
+	m.varsOwned = false
+	c := *m
+	c.regs = Regs{}
+	return &c
 }
 
 // SelectedProcs returns the processors whose local "selected" is true —
 // the paper's selected_p flag (section 3).
 func (m *Machine) SelectedProcs() []int {
+	if m.selSym < 0 {
+		return nil
+	}
 	var out []int
 	for p := range m.frames {
-		if sel, ok := m.frames[p].Locals["selected"].(bool); ok && sel {
+		if sel, ok := m.frames[p].Locals[m.selSym].(bool); ok && sel {
 			out = append(out, p)
 		}
 	}

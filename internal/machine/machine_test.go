@@ -12,10 +12,11 @@ import (
 func counterProgram(t *testing.T, k int) *Program {
 	t.Helper()
 	b := NewBuilder()
-	b.Compute(func(loc Locals) { loc["n"] = 0 })
+	n := b.Sym("n")
+	b.Compute(func(r *Regs) { r.Set(n, 0) })
 	b.Label("loop")
-	b.JumpIf(func(loc Locals) bool { return loc["n"].(int) >= k }, "done")
-	b.Compute(func(loc Locals) { loc["n"] = loc["n"].(int) + 1 })
+	b.JumpIf(func(r *Regs) bool { return r.Int(n) >= k }, "done")
+	b.Compute(func(r *Regs) { r.Set(n, r.Int(n)+1) })
 	b.Jump("loop")
 	b.Label("done")
 	b.Halt()
@@ -221,9 +222,10 @@ func TestPeekPostMultiset(t *testing.T) {
 
 func TestPostOverwritesOwnSubvalue(t *testing.T) {
 	b := NewBuilder()
-	b.Compute(func(loc Locals) { loc["x"] = "first" })
+	x := b.Sym("x")
+	b.Compute(func(r *Regs) { r.Set(x, "first") })
 	b.Post("n", "x")
-	b.Compute(func(loc Locals) { loc["x"] = "second" })
+	b.Compute(func(r *Regs) { r.Set(x, "second") })
 	b.Post("n", "x")
 	b.Peek("n", "seen")
 	b.Halt()
@@ -253,10 +255,11 @@ func TestAnonymityIdenticalInitsStayIdentical(t *testing.T) {
 	// round — the dynamic core of the similarity argument.
 	s := system.Fig1()
 	b := NewBuilder()
+	initS := b.Sym("init")
 	b.Label("loop")
 	b.Post("n", "init")
 	b.Peek("n", "x")
-	b.Compute(func(loc Locals) { loc["init"] = loc["init"].(string) + "!" })
+	b.Compute(func(r *Regs) { r.Set(initS, r.Get(initS).(string)+"!") })
 	b.Jump("loop")
 	prog, err := b.Build()
 	if err != nil {
@@ -299,6 +302,34 @@ func TestHaltedStepIsNoop(t *testing.T) {
 	}
 }
 
+// TestHaltedStepPreservesFingerprintCache is the regression test for the
+// halted-step cache bug: stepping an already-halted processor used to
+// clear m.procFP[p] (and re-assign Halted), forcing a pointless re-encode
+// of an unchanged state. The halted no-op must keep the cache warm.
+func TestHaltedStepPreservesFingerprintCache(t *testing.T) {
+	m, err := New(system.Fig1(), system.InstrS, mustProg(t, func(b *Builder) { b.Halt() }))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := m.Step(0); err != nil {
+		t.Fatal(err)
+	}
+	fp := m.ProcFingerprint(0)
+	if m.procFP[0] == "" {
+		t.Fatal("fingerprint should be cached after ProcFingerprint")
+	}
+	stepsBefore := m.Steps()
+	if err := m.Step(0); err != nil {
+		t.Fatal(err)
+	}
+	if m.Steps() != stepsBefore+1 {
+		t.Error("halted step must still count as a schedule step")
+	}
+	if m.procFP[0] != fp {
+		t.Errorf("halted step invalidated the cached fingerprint: %q -> %q", fp, m.procFP[0])
+	}
+}
+
 func TestRunStopsWhenAllHalted(t *testing.T) {
 	m, err := New(system.Fig1(), system.InstrS, counterProgram(t, 2))
 	if err != nil {
@@ -319,8 +350,9 @@ func TestRunStopsWhenAllHalted(t *testing.T) {
 
 func TestCloneIndependence(t *testing.T) {
 	m, err := New(system.Fig1(), system.InstrQ, mustProg(t, func(b *Builder) {
+		z := b.Sym("z")
 		b.Post("n", "init")
-		b.Compute(func(loc Locals) { loc["z"] = 1 })
+		b.Compute(func(r *Regs) { r.Set(z, 1) })
 		b.Halt()
 	}))
 	if err != nil {
@@ -345,22 +377,18 @@ func TestCloneIndependence(t *testing.T) {
 }
 
 func TestSelectedProcs(t *testing.T) {
-	m, err := New(system.Fig1(), system.InstrS, mustProg(t, func(b *Builder) {
-		b.Compute(func(loc Locals) {
-			if loc["init"] == "A" {
-				loc["selected"] = true
+	prog := mustProg(t, func(b *Builder) {
+		initS, sel := b.Sym("init"), b.Sym("selected")
+		b.Compute(func(r *Regs) {
+			if r.Get(initS) == "A" {
+				r.Set(sel, true)
 			}
 		})
 		b.Halt()
-	}))
-	if err != nil {
-		t.Fatal(err)
-	}
-	m.sys.ProcInit[0] = "A" // after New: frames already built from old init
-	// Rebuild to pick up the init.
+	})
 	s := system.Fig1()
 	s.ProcInit[0] = "A"
-	m, err = New(s, system.InstrS, m.program)
+	m, err := New(s, system.InstrS, prog)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -386,7 +414,7 @@ func TestBuilderErrors(t *testing.T) {
 		t.Errorf("unknown label error = %v", err)
 	}
 	b2 := NewBuilder()
-	b2.JumpIf(func(Locals) bool { return true }, "missing")
+	b2.JumpIf(func(*Regs) bool { return true }, "missing")
 	if _, err := b2.Build(); !errors.Is(err, ErrUnknownLabel) {
 		t.Errorf("unknown JumpIf label error = %v", err)
 	}
@@ -417,6 +445,16 @@ func TestNewErrors(t *testing.T) {
 	}
 	if _, err := New(system.Fig1(), system.InstrSet(42), prog); !errors.Is(err, ErrBadInstrSet) {
 		t.Error("bad instruction set should fail")
+	}
+}
+
+// TestNewBindsSharedNames pins that shared-name resolution moved to New:
+// a program naming a variable the system does not define fails at bind
+// time, before any step runs.
+func TestNewBindsSharedNames(t *testing.T) {
+	prog := mustProgStandalone(func(b *Builder) { b.Read("no-such-name", "x"); b.Halt() })
+	if _, err := New(system.Fig1(), system.InstrS, prog); !errors.Is(err, system.ErrUnknownName) {
+		t.Errorf("New with unknown shared name = %v, want ErrUnknownName", err)
 	}
 }
 

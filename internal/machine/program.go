@@ -9,6 +9,13 @@
 // state canonically, which is how the paper's similarity claims ("same
 // state at the same time infinitely often") are checked empirically.
 //
+// Programs are compiled: the Builder interns every local-variable name to
+// a dense Sym slot and Build resolves jump labels to instruction indices,
+// so the interpreter addresses locals by slot and jumps by index — no
+// string or map work on the step path. machine.New then pre-binds every
+// shared-variable operand to its per-processor variable index (the
+// paper's n-nbr function, evaluated once instead of per step).
+//
 // Instruction sets are enforced: S programs may only read/write, L adds
 // lock/unlock, and Q replaces read/write with peek/post on multiset
 // variables.
@@ -17,39 +24,81 @@ package machine
 import (
 	"errors"
 	"fmt"
+	"sort"
 
 	"simsym/internal/system"
 )
 
-// Locals is a processor's local-variable store. By convention, Compute
-// functions must treat non-scalar values as immutable: replace them,
-// never mutate in place (machine snapshots share value structure).
-type Locals map[string]any
+// Sym is a compiled local-variable slot: local names intern to dense
+// indices at build time (Builder.Sym), and frames store locals in a slot
+// slice addressed by Sym. Sym values are only meaningful for the program
+// that interned them.
+type Sym int32
 
-// Clone returns a shallow copy (values are immutable by convention).
-func (l Locals) Clone() Locals {
-	out := make(Locals, len(l))
-	for k, v := range l {
-		out[k] = v
-	}
-	return out
+// SymInit is the slot of the reserved local "init", which machine.New
+// fills with the processor's initial state. Every program has it.
+const SymInit Sym = 0
+
+// unsetType is the private sentinel marking an unassigned local slot.
+// Frames distinguish "never set" from "set to nil" exactly as the old
+// map representation distinguished a missing key from a nil value.
+type unsetType struct{}
+
+var unset any = unsetType{}
+
+// Regs is the register-file view Compute and JumpIf closures receive: a
+// window onto one processor's local slots. By convention, closures must
+// treat non-scalar values as immutable: replace them, never mutate in
+// place (machine snapshots share value structure).
+type Regs struct {
+	slots []any
 }
 
-// Instr is one atomic instruction.
+// Get returns the value in slot s, or nil when the slot is unset.
+func (r *Regs) Get(s Sym) any {
+	v := r.slots[s]
+	if v == unset {
+		return nil
+	}
+	return v
+}
+
+// Has reports whether slot s has been assigned.
+func (r *Regs) Has(s Sym) bool { return r.slots[s] != unset }
+
+// Set assigns slot s.
+func (r *Regs) Set(s Sym, v any) { r.slots[s] = v }
+
+// Int returns the int in slot s, or 0 when the slot is unset or holds a
+// different type.
+func (r *Regs) Int(s Sym) int {
+	n, _ := r.slots[s].(int)
+	return n
+}
+
+// Bool returns the bool in slot s, or false when the slot is unset or
+// holds a different type.
+func (r *Regs) Bool(s Sym) bool {
+	b, _ := r.slots[s].(bool)
+	return b
+}
+
+// Instr is one atomic instruction (the Builder's intermediate form;
+// Build compiles instructions into the interpreter's internal ops).
 type Instr interface{ isInstr() }
 
-// Read loads the value of the shared variable called Name into local Dst.
+// Read loads the value of the shared variable called Name into slot Dst.
 // Requires instruction set S or L.
 type Read struct {
 	Name system.Name
-	Dst  string
+	Dst  Sym
 }
 
-// Write stores local Src into the shared variable called Name. Requires S
+// Write stores slot Src into the shared variable called Name. Requires S
 // or L.
 type Write struct {
 	Name system.Name
-	Src  string
+	Src  Sym
 }
 
 // Lock attempts to set the lock bit of the variable called Name, storing
@@ -57,7 +106,7 @@ type Write struct {
 // it was already set. Requires L.
 type Lock struct {
 	Name system.Name
-	Dst  string
+	Dst  Sym
 }
 
 // Unlock clears the lock bit of the variable called Name. Requires L.
@@ -69,27 +118,27 @@ type Unlock struct {
 // PeekResult. Requires Q.
 type Peek struct {
 	Name system.Name
-	Dst  string
+	Dst  Sym
 }
 
-// Post stores local Src as this processor's subvalue in the multiset
+// Post stores slot Src as this processor's subvalue in the multiset
 // variable called Name. Requires Q.
 type Post struct {
 	Name system.Name
-	Src  string
+	Src  Sym
 }
 
 // Compute runs an arbitrary local instruction. F must be deterministic,
 // must not mutate values in place, and must not capture mutable state —
-// it sees and edits only the processor's locals.
+// it sees and edits only the processor's local slots.
 type Compute struct {
-	F func(loc Locals)
+	F func(r *Regs)
 }
 
 // JumpIf transfers control to the instruction labeled Target when Cond
 // evaluates true on the locals. Cond must be deterministic and read-only.
 type JumpIf struct {
-	Cond   func(loc Locals) bool
+	Cond   func(r *Regs) bool
 	Target string
 }
 
@@ -120,14 +169,60 @@ type PeekResult struct {
 	Values []any // sorted by canonical encoding at peek time
 }
 
-// Program is a resolved instruction sequence.
+// opKind is a compiled instruction opcode.
+type opKind uint8
+
+const (
+	opRead opKind = iota + 1
+	opWrite
+	opLock
+	opUnlock
+	opPeek
+	opPost
+	opCompute
+	opJumpIf
+	opJump
+	opHalt
+)
+
+// op is one compiled instruction: opcode plus pre-resolved operands. The
+// shared-variable Name survives compilation only so machine.New can bind
+// it to per-processor variable indices; Step never touches it.
+type op struct {
+	kind opKind
+	name system.Name // shared-variable operand (binding key; zero for local ops)
+	sym  Sym         // Dst/Src slot operand
+	tgt  int         // resolved jump target pc
+	f    func(*Regs)
+	cond func(*Regs) bool
+}
+
+// Program is a compiled instruction sequence plus its symbol table.
 type Program struct {
-	instrs  []Instr
-	targets map[string]int
+	code []op
+	// names is the symbol table: names[s] is the local name interned to
+	// slot s, in declaration (interning) order. Slot 0 is always "init".
+	names  []string
+	symIdx map[string]Sym
+	// sortedSyms lists all slots ordered by name — the iteration order of
+	// the legacy sorted-name fingerprint, kept for the oracle encoders.
+	sortedSyms []Sym
 }
 
 // Len returns the number of instructions.
-func (p *Program) Len() int { return len(p.instrs) }
+func (p *Program) Len() int { return len(p.code) }
+
+// NumSyms returns the number of interned local slots.
+func (p *Program) NumSyms() int { return len(p.names) }
+
+// SymName returns the local name interned to slot s.
+func (p *Program) SymName(s Sym) string { return p.names[s] }
+
+// LookupSym returns the slot for a local name, if the program interned it.
+func (p *Program) LookupSym(name string) (Sym, bool) {
+	s, ok := p.symIdx[name]
+	return s, ok
+}
 
 // Sentinel errors for program construction.
 var (
@@ -136,15 +231,34 @@ var (
 	ErrEmptyProgram = errors.New("machine: empty program")
 )
 
-// Builder assembles a Program with named labels.
+// Builder assembles a Program with named labels and an interned symbol
+// table. Local names used in instructions intern automatically; closures
+// address locals through Syms obtained from Sym before Build.
 type Builder struct {
 	instrs []Instr
 	labels map[string]int
+	names  []string
+	symIdx map[string]Sym
 }
 
-// NewBuilder returns an empty program builder.
+// NewBuilder returns an empty program builder with "init" pre-interned
+// at slot SymInit.
 func NewBuilder() *Builder {
-	return &Builder{labels: make(map[string]int)}
+	b := &Builder{labels: make(map[string]int), symIdx: make(map[string]Sym)}
+	b.Sym("init")
+	return b
+}
+
+// Sym interns a local-variable name and returns its slot. Interning is
+// idempotent; slots are dense in first-use order.
+func (b *Builder) Sym(name string) Sym {
+	if s, ok := b.symIdx[name]; ok {
+		return s
+	}
+	s := Sym(len(b.names))
+	b.names = append(b.names, name)
+	b.symIdx[name] = s
+	return s
 }
 
 // Label marks the next instruction with a name (jump target).
@@ -161,17 +275,17 @@ func (b *Builder) Emit(i Instr) *Builder {
 
 // Read appends a Read instruction.
 func (b *Builder) Read(name system.Name, dst string) *Builder {
-	return b.Emit(Read{Name: name, Dst: dst})
+	return b.Emit(Read{Name: name, Dst: b.Sym(dst)})
 }
 
 // Write appends a Write instruction.
 func (b *Builder) Write(name system.Name, src string) *Builder {
-	return b.Emit(Write{Name: name, Src: src})
+	return b.Emit(Write{Name: name, Src: b.Sym(src)})
 }
 
 // Lock appends a Lock instruction.
 func (b *Builder) Lock(name system.Name, dst string) *Builder {
-	return b.Emit(Lock{Name: name, Dst: dst})
+	return b.Emit(Lock{Name: name, Dst: b.Sym(dst)})
 }
 
 // Unlock appends an Unlock instruction.
@@ -181,21 +295,21 @@ func (b *Builder) Unlock(name system.Name) *Builder {
 
 // Peek appends a Peek instruction.
 func (b *Builder) Peek(name system.Name, dst string) *Builder {
-	return b.Emit(Peek{Name: name, Dst: dst})
+	return b.Emit(Peek{Name: name, Dst: b.Sym(dst)})
 }
 
 // Post appends a Post instruction.
 func (b *Builder) Post(name system.Name, src string) *Builder {
-	return b.Emit(Post{Name: name, Src: src})
+	return b.Emit(Post{Name: name, Src: b.Sym(src)})
 }
 
 // Compute appends a local computation.
-func (b *Builder) Compute(f func(loc Locals)) *Builder {
+func (b *Builder) Compute(f func(r *Regs)) *Builder {
 	return b.Emit(Compute{F: f})
 }
 
 // JumpIf appends a conditional jump.
-func (b *Builder) JumpIf(cond func(loc Locals) bool, target string) *Builder {
+func (b *Builder) JumpIf(cond func(r *Regs) bool, target string) *Builder {
 	return b.Emit(JumpIf{Cond: cond, Target: target})
 }
 
@@ -209,26 +323,66 @@ func (b *Builder) Halt() *Builder {
 	return b.Emit(Halt{})
 }
 
-// Build resolves labels and returns the program.
+// Build resolves labels, freezes the symbol table, and compiles the
+// instruction list into the slot-addressed op sequence the interpreter
+// executes.
 func (b *Builder) Build() (*Program, error) {
 	if len(b.instrs) == 0 {
 		return nil, ErrEmptyProgram
 	}
-	targets := make(map[string]int, len(b.labels))
-	for name, idx := range b.labels {
-		targets[name] = idx
+	target := func(pc int, label string) (int, error) {
+		idx, ok := b.labels[label]
+		if !ok {
+			return 0, fmt.Errorf("%w: %q at pc %d", ErrUnknownLabel, label, pc)
+		}
+		return idx, nil
 	}
+	code := make([]op, len(b.instrs))
 	for pc, in := range b.instrs {
 		switch x := in.(type) {
+		case Read:
+			code[pc] = op{kind: opRead, name: x.Name, sym: x.Dst}
+		case Write:
+			code[pc] = op{kind: opWrite, name: x.Name, sym: x.Src}
+		case Lock:
+			code[pc] = op{kind: opLock, name: x.Name, sym: x.Dst}
+		case Unlock:
+			code[pc] = op{kind: opUnlock, name: x.Name}
+		case Peek:
+			code[pc] = op{kind: opPeek, name: x.Name, sym: x.Dst}
+		case Post:
+			code[pc] = op{kind: opPost, name: x.Name, sym: x.Src}
+		case Compute:
+			code[pc] = op{kind: opCompute, f: x.F}
 		case JumpIf:
-			if _, ok := targets[x.Target]; !ok {
-				return nil, fmt.Errorf("%w: %q at pc %d", ErrUnknownLabel, x.Target, pc)
+			tgt, err := target(pc, x.Target)
+			if err != nil {
+				return nil, err
 			}
+			code[pc] = op{kind: opJumpIf, cond: x.Cond, tgt: tgt}
 		case Jump:
-			if _, ok := targets[x.Target]; !ok {
-				return nil, fmt.Errorf("%w: %q at pc %d", ErrUnknownLabel, x.Target, pc)
+			tgt, err := target(pc, x.Target)
+			if err != nil {
+				return nil, err
 			}
+			code[pc] = op{kind: opJump, tgt: tgt}
+		case Halt:
+			code[pc] = op{kind: opHalt}
+		default:
+			return nil, fmt.Errorf("machine: unknown instruction %T at pc %d", in, pc)
 		}
 	}
-	return &Program{instrs: append([]Instr(nil), b.instrs...), targets: targets}, nil
+	names := append([]string(nil), b.names...)
+	symIdx := make(map[string]Sym, len(names))
+	for s, n := range names {
+		symIdx[n] = Sym(s)
+	}
+	sortedSyms := make([]Sym, len(names))
+	for i := range sortedSyms {
+		sortedSyms[i] = Sym(i)
+	}
+	sort.Slice(sortedSyms, func(a, b int) bool {
+		return names[sortedSyms[a]] < names[sortedSyms[b]]
+	})
+	return &Program{code: code, names: names, symIdx: symIdx, sortedSyms: sortedSyms}, nil
 }

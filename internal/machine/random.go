@@ -24,17 +24,19 @@ func RandomProgram(rng *rand.Rand, names []system.Name, instr system.InstrSet, l
 	}
 	slots := []string{"a", "b", "c"}
 	b := NewBuilder()
+	a, bb, c, initS := b.Sym("a"), b.Sym("b"), b.Sym("c"), b.Sym("init")
 	// Every program starts by defining its slots so reads never fail.
-	b.Compute(func(loc Locals) {
-		loc["a"] = 0
-		loc["b"] = ""
-		loc["c"] = loc["init"]
+	b.Compute(func(r *Regs) {
+		r.Set(a, 0)
+		r.Set(bb, "")
+		r.Set(c, r.Get(initS))
 	})
 	for i := 0; i < length; i++ {
 		b.Label(fmt.Sprintf("i%d", i))
 		name := names[rng.Intn(len(names))]
 		src := slots[rng.Intn(len(slots))]
 		dst := slots[rng.Intn(len(slots))]
+		srcS, dstS := b.Sym(src), b.Sym(dst)
 		var choices []func()
 		addShared := func() {
 			switch instr {
@@ -63,34 +65,36 @@ func RandomProgram(rng *rand.Rand, names []system.Name, instr system.InstrSet, l
 			func() {
 				switch kind {
 				case 0:
-					b.Compute(func(loc Locals) { loc[dst] = canon.String(loc[src]) })
+					b.Compute(func(r *Regs) { r.Set(dstS, canon.String(r.Get(srcS))) })
 				case 1:
-					b.Compute(func(loc Locals) {
-						if n, ok := loc[dst].(int); ok {
-							loc[dst] = n + 1
+					b.Compute(func(r *Regs) {
+						if n, ok := r.Get(dstS).(int); ok {
+							r.Set(dstS, n+1)
 						} else {
-							loc[dst] = 1
+							r.Set(dstS, 1)
 						}
 					})
 				case 2:
-					b.Compute(func(loc Locals) { loc[dst] = loc[src] })
+					b.Compute(func(r *Regs) { r.Set(dstS, r.Get(srcS)) })
 				default:
-					b.Compute(func(loc Locals) { loc[dst] = canon.Hash([]any{loc["a"], loc["b"], loc["c"]}) % 97 })
+					b.Compute(func(r *Regs) {
+						r.Set(dstS, canon.Hash([]any{r.Get(a), r.Get(bb), r.Get(c)})%97)
+					})
 				}
 			},
 			func() {
 				// Bounded backward jump: loop while a counter is small.
 				target := fmt.Sprintf("i%d", rng.Intn(i+1))
 				bound := 1 + rng.Intn(5)
-				ctr := fmt.Sprintf("ctr%d", i)
-				b.Compute(func(loc Locals) {
-					if _, ok := loc[ctr].(int); !ok {
-						loc[ctr] = 0
+				ctr := b.Sym(fmt.Sprintf("ctr%d", i))
+				b.Compute(func(r *Regs) {
+					if _, ok := r.Get(ctr).(int); !ok {
+						r.Set(ctr, 0)
 					}
-					loc[ctr] = loc[ctr].(int) + 1
+					r.Set(ctr, r.Get(ctr).(int)+1)
 				})
-				b.JumpIf(func(loc Locals) bool {
-					n, _ := loc[ctr].(int)
+				b.JumpIf(func(r *Regs) bool {
+					n, _ := r.Get(ctr).(int)
 					return n < bound
 				}, target)
 			},

@@ -51,8 +51,9 @@ func TestAppendStateKeyMatchesFingerprint(t *testing.T) {
 func TestAppendStateKeyPermutation(t *testing.T) {
 	s := system.Fig1()
 	b := NewBuilder()
+	x, x2 := b.Sym("x"), b.Sym("x2")
 	b.Read("n", "x")
-	b.Compute(func(loc Locals) { loc["x2"] = loc["x"] })
+	b.Compute(func(r *Regs) { r.Set(x2, r.Get(x)) })
 	b.Halt()
 	prog, err := b.Build()
 	if err != nil {

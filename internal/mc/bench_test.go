@@ -15,12 +15,13 @@ func throughputSetup(b *testing.B) (*system.System, *machine.Program) {
 		b.Fatal(err)
 	}
 	bl := machine.NewBuilder()
+	g1, g2 := bl.Sym("_g1"), bl.Sym("_g2")
 	bl.Label("grab1")
 	bl.Lock("left", "_g1")
-	bl.JumpIf(func(loc machine.Locals) bool { return loc["_g1"] != true }, "grab1")
+	bl.JumpIf(func(r *machine.Regs) bool { return r.Get(g1) != true }, "grab1")
 	bl.Label("grab2")
 	bl.Lock("right", "_g2")
-	bl.JumpIf(func(loc machine.Locals) bool { return loc["_g2"] != true }, "grab2")
+	bl.JumpIf(func(r *machine.Regs) bool { return r.Get(g2) != true }, "grab2")
 	bl.Unlock("right")
 	bl.Unlock("left")
 	bl.Halt()

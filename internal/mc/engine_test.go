@@ -11,9 +11,10 @@ import (
 
 // spinForever is an unbounded-state program: a strictly growing counter.
 func spinForever(b *machine.Builder) {
-	b.Compute(func(loc machine.Locals) { loc["n"] = 0 })
+	n := b.Sym("n")
+	b.Compute(func(r *machine.Regs) { r.Set(n, 0) })
 	b.Label("loop")
-	b.Compute(func(loc machine.Locals) { loc["n"] = loc["n"].(int) + 1 })
+	b.Compute(func(r *machine.Regs) { r.Set(n, r.Int(n)+1) })
 	b.Jump("loop")
 }
 

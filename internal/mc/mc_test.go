@@ -28,13 +28,14 @@ func factoryFor(t *testing.T, s *system.System, instr system.InstrSet, build fun
 // read "untaken" before either writes — the model checker must find that
 // schedule (this is the FLP-flavored adversary of Theorem 1).
 func naiveClaim(b *machine.Builder) {
+	x, selected, mark := b.Sym("x"), b.Sym("selected"), b.Sym("mark")
 	b.Read("n", "x")
-	b.Compute(func(loc machine.Locals) {
-		if loc["x"] == "0" {
-			loc["selected"] = true
-			loc["mark"] = "taken"
+	b.Compute(func(r *machine.Regs) {
+		if r.Get(x) == "0" {
+			r.Set(selected, true)
+			r.Set(mark, "taken")
 		} else {
-			loc["mark"] = "seen"
+			r.Set(mark, "seen")
 		}
 	})
 	b.Write("n", "mark")
@@ -75,10 +76,11 @@ func TestTheorem1NaiveSelectionViolatesUniqueness(t *testing.T) {
 // lockClaim is the correct L selection for Figure 1: the lock race picks
 // exactly one winner under every schedule.
 func lockClaim(b *machine.Builder) {
+	got, selected := b.Sym("got"), b.Sym("selected")
 	b.Lock("n", "got")
-	b.Compute(func(loc machine.Locals) {
-		if loc["got"] == true {
-			loc["selected"] = true
+	b.Compute(func(r *machine.Regs) {
+		if r.Get(got) == true {
+			r.Set(selected, true)
 		}
 	})
 	b.Halt()
@@ -104,8 +106,9 @@ func TestLockSelectionSafeUnderAllSchedules(t *testing.T) {
 func TestStabilityViolationDetected(t *testing.T) {
 	// A program that selects then deselects must be flagged.
 	res, err := Check(factoryFor(t, system.Fig1(), system.InstrS, func(b *machine.Builder) {
-		b.Compute(func(loc machine.Locals) { loc["selected"] = true })
-		b.Compute(func(loc machine.Locals) { loc["selected"] = false })
+		selected := b.Sym("selected")
+		b.Compute(func(r *machine.Regs) { r.Set(selected, true) })
+		b.Compute(func(r *machine.Regs) { r.Set(selected, false) })
 		b.Halt()
 	}), Options{
 		TransPreds: []TransitionPredicate{StabilityPred},
@@ -132,12 +135,13 @@ func crossedLocks() *system.System {
 }
 
 func spinLockBoth(b *machine.Builder) {
+	ga, gb := b.Sym("ga"), b.Sym("gb")
 	b.Label("la")
 	b.Lock("a", "ga")
-	b.JumpIf(func(loc machine.Locals) bool { return loc["ga"] != true }, "la")
+	b.JumpIf(func(r *machine.Regs) bool { return r.Get(ga) != true }, "la")
 	b.Label("lb")
 	b.Lock("b", "gb")
-	b.JumpIf(func(loc machine.Locals) bool { return loc["gb"] != true }, "lb")
+	b.JumpIf(func(r *machine.Regs) bool { return r.Get(gb) != true }, "lb")
 	b.Halt()
 }
 
@@ -164,9 +168,10 @@ func TestNoDeadlockWhenOrdered(t *testing.T) {
 	s := crossedLocks()
 	s.Nbr = [][]int{{0, 1}, {0, 1}} // both: a->v0, b->v1
 	b := machine.NewBuilder()
+	ga := b.Sym("ga")
 	b.Label("la")
 	b.Lock("a", "ga")
-	b.JumpIf(func(loc machine.Locals) bool { return loc["ga"] != true }, "la")
+	b.JumpIf(func(r *machine.Regs) bool { return r.Get(ga) != true }, "la")
 	b.Lock("b", "gb")
 	b.Unlock("b")
 	b.Unlock("a")
@@ -192,9 +197,10 @@ func TestNoDeadlockWhenOrdered(t *testing.T) {
 
 func TestBudgetExhaustion(t *testing.T) {
 	_, err := Check(factoryFor(t, system.Fig1(), system.InstrS, func(b *machine.Builder) {
-		b.Compute(func(loc machine.Locals) { loc["n"] = 0 })
+		n := b.Sym("n")
+		b.Compute(func(r *machine.Regs) { r.Set(n, 0) })
 		b.Label("loop")
-		b.Compute(func(loc machine.Locals) { loc["n"] = loc["n"].(int) + 1 })
+		b.Compute(func(r *machine.Regs) { r.Set(n, r.Int(n)+1) })
 		b.Jump("loop")
 	}), Options{MaxStates: 100})
 	if !errors.Is(err, ErrBudget) {

@@ -12,6 +12,7 @@
 package trace
 
 import (
+	"bytes"
 	"errors"
 	"fmt"
 	"sort"
@@ -81,6 +82,7 @@ func Witness(sys *system.System, instr system.InstrSet, prog *machine.Program, l
 	}
 	round := ClassSortedRound(lab)
 	rep := &Report{}
+	ck := newSyncChecker(sys, lab)
 	for r := 1; r <= rounds; r++ {
 		for _, p := range round {
 			if err := m.Step(p); err != nil {
@@ -89,7 +91,7 @@ func Witness(sys *system.System, instr system.InstrSet, prog *machine.Program, l
 			rep.Steps++
 		}
 		rep.Rounds = r
-		if viol := checkSync(m, lab); viol != nil {
+		if viol := ck.check(m); viol != nil {
 			viol.Round = r
 			rep.Violation = viol
 			return rep, nil
@@ -101,28 +103,53 @@ func Witness(sys *system.System, instr system.InstrSet, prog *machine.Program, l
 	return rep, nil
 }
 
-func checkSync(m *machine.Machine, lab *core.Labeling) *Violation {
-	sys := m.System()
-	procRep := make(map[int]int) // label -> representative
+// syncChecker compares same-labeled nodes on binary fingerprint keys,
+// reusing one pair of buffers across all rounds of a witness run instead
+// of materializing a fingerprint string per node per round.
+type syncChecker struct {
+	lab        *core.Labeling
+	procRep    map[int]int // label -> representative node
+	varRep     map[int]int
+	bufA, bufB []byte
+}
+
+func newSyncChecker(sys *system.System, lab *core.Labeling) *syncChecker {
+	ck := &syncChecker{lab: lab, procRep: make(map[int]int), varRep: make(map[int]int)}
 	for p := 0; p < sys.NumProcs(); p++ {
-		l := lab.ProcLabels[p]
-		if rep, ok := procRep[l]; ok {
-			if m.ProcFingerprint(rep) != m.ProcFingerprint(p) {
-				return &Violation{Kind: system.KindProcessor, A: rep, B: p}
-			}
-		} else {
-			procRep[l] = p
+		if _, ok := ck.procRep[lab.ProcLabels[p]]; !ok {
+			ck.procRep[lab.ProcLabels[p]] = p
 		}
 	}
-	varRep := make(map[int]int)
 	for v := 0; v < sys.NumVars(); v++ {
-		l := lab.VarLabels[v]
-		if rep, ok := varRep[l]; ok {
-			if m.VarFingerprint(rep) != m.VarFingerprint(v) {
-				return &Violation{Kind: system.KindVariable, A: rep, B: v}
-			}
-		} else {
-			varRep[l] = v
+		if _, ok := ck.varRep[lab.VarLabels[v]]; !ok {
+			ck.varRep[lab.VarLabels[v]] = v
+		}
+	}
+	return ck
+}
+
+func (ck *syncChecker) check(m *machine.Machine) *Violation {
+	sys := m.System()
+	for p := 0; p < sys.NumProcs(); p++ {
+		rep := ck.procRep[ck.lab.ProcLabels[p]]
+		if rep == p {
+			continue
+		}
+		ck.bufA = m.AppendProcFingerprint(ck.bufA[:0], rep)
+		ck.bufB = m.AppendProcFingerprint(ck.bufB[:0], p)
+		if !bytes.Equal(ck.bufA, ck.bufB) {
+			return &Violation{Kind: system.KindProcessor, A: rep, B: p}
+		}
+	}
+	for v := 0; v < sys.NumVars(); v++ {
+		rep := ck.varRep[ck.lab.VarLabels[v]]
+		if rep == v {
+			continue
+		}
+		ck.bufA = m.AppendVarFingerprint(ck.bufA[:0], rep)
+		ck.bufB = m.AppendVarFingerprint(ck.bufB[:0], v)
+		if !bytes.Equal(ck.bufA, ck.bufB) {
+			return &Violation{Kind: system.KindVariable, A: rep, B: v}
 		}
 	}
 	return nil

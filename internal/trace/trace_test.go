@@ -115,11 +115,12 @@ func TestFig1SelectionDoubles(t *testing.T) {
 	s := system.Fig1()
 	lab := similarity(t, s, core.RuleQ)
 	b := machine.NewBuilder()
+	x, selected := b.Sym("x"), b.Sym("selected")
 	b.Peek("n", "x")
-	b.Compute(func(loc machine.Locals) {
-		pr := loc["x"].(machine.PeekResult)
+	b.Compute(func(r *machine.Regs) {
+		pr := r.Get(x).(machine.PeekResult)
 		if len(pr.Values) == 0 {
-			loc["selected"] = true // nobody posted yet: claim leadership
+			r.Set(selected, true) // nobody posted yet: claim leadership
 		}
 	})
 	b.Post("n", "init")
@@ -205,14 +206,15 @@ func TestEventuallySelectsTwoMidRound(t *testing.T) {
 	// deselection closes the window before the boundary.
 	lab := &core.Labeling{Sys: s, ProcLabels: []int{1, 0}, VarLabels: []int{0}}
 	b := machine.NewBuilder()
-	b.JumpIf(func(loc machine.Locals) bool { return loc["init"] == "1" }, "late")
-	b.Compute(func(loc machine.Locals) { loc["selected"] = true })  // p0, round 2
-	b.Compute(func(loc machine.Locals) { loc["selected"] = false }) // p0, round 3
+	selected := b.Sym("selected")
+	b.JumpIf(func(r *machine.Regs) bool { return r.Get(machine.SymInit) == "1" }, "late")
+	b.Compute(func(r *machine.Regs) { r.Set(selected, true) })  // p0, round 2
+	b.Compute(func(r *machine.Regs) { r.Set(selected, false) }) // p0, round 3
 	b.Halt()
 	b.Label("late")
-	b.Compute(func(machine.Locals) {})                              // p1, round 2
-	b.Compute(func(loc machine.Locals) { loc["selected"] = true })  // p1, round 3
-	b.Compute(func(loc machine.Locals) { loc["selected"] = false }) // p1, round 4
+	b.Compute(func(*machine.Regs) {})                           // p1, round 2
+	b.Compute(func(r *machine.Regs) { r.Set(selected, true) })  // p1, round 3
+	b.Compute(func(r *machine.Regs) { r.Set(selected, false) }) // p1, round 4
 	b.Halt()
 	prog, err := b.Build()
 	if err != nil {

@@ -1,0 +1,259 @@
+package simsym_test
+
+// Oracle cross-check for the compiled slot-frame VM: the refactored
+// machine keeps the pre-compilation string encodings alive as oracles
+// (ProcFingerprintOracle / FingerprintOracle), and this test drives both
+// encoders over every shipped topology to prove the new slot-order binary
+// encoding induces exactly the same equality classes — two states get
+// equal new fingerprints iff their oracle fingerprints are equal. On top
+// of that it re-establishes the headline model-checking verdicts and
+// selection winners on the same topologies, so a change to either encoder
+// that shifted observable behavior would surface here. CI runs this file
+// under -race -count=2.
+
+import (
+	"fmt"
+	"math/rand"
+	"testing"
+
+	simsym "simsym"
+	"simsym/internal/dining"
+	"simsym/internal/machine"
+	"simsym/internal/system"
+)
+
+// bijection accumulates a one-to-one correspondence between two string
+// encodings and fails the test on the first conflict in either direction.
+type bijection struct {
+	fwd, rev map[string]string
+}
+
+func newBijection() *bijection {
+	return &bijection{fwd: make(map[string]string), rev: make(map[string]string)}
+}
+
+func (bj *bijection) observe(t *testing.T, where, a, b string) {
+	t.Helper()
+	if prev, ok := bj.fwd[a]; ok && prev != b {
+		t.Fatalf("%s: new fingerprint maps to two oracle classes:\nnew   %q\noracle %q vs %q", where, a, b, prev)
+	}
+	if prev, ok := bj.rev[b]; ok && prev != a {
+		t.Fatalf("%s: oracle fingerprint maps to two new classes:\noracle %q\nnew   %q vs %q", where, b, a, prev)
+	}
+	bj.fwd[a] = b
+	bj.rev[b] = a
+}
+
+// crosscheck random-walks the machine and checks, at every reached state,
+// that whole-state and per-processor fingerprints stay in bijection with
+// their oracle encodings.
+func crosscheck(t *testing.T, sys *system.System, instr system.InstrSet, prog *machine.Program, seed int64, walks, steps int) {
+	t.Helper()
+	state := newBijection()
+	procs := newBijection()
+	rng := rand.New(rand.NewSource(seed))
+	record := func(where string, m *machine.Machine) {
+		state.observe(t, where, m.Fingerprint(), m.FingerprintOracle())
+		for p := 0; p < m.NumProcs(); p++ {
+			procs.observe(t, where, m.ProcFingerprint(p), m.ProcFingerprintOracle(p))
+		}
+	}
+	for w := 0; w < walks; w++ {
+		m, err := machine.New(sys, instr, prog)
+		if err != nil {
+			t.Fatal(err)
+		}
+		record(fmt.Sprintf("walk %d init", w), m)
+		for i := 0; i < steps; i++ {
+			p := rng.Intn(sys.NumProcs())
+			if err := m.Step(p); err != nil {
+				t.Fatal(err)
+			}
+			record(fmt.Sprintf("walk %d step %d (proc %d)", w, i, p), m)
+		}
+	}
+	if len(state.fwd) < 2 {
+		t.Fatalf("cross-check degenerate: only %d distinct states reached", len(state.fwd))
+	}
+}
+
+func TestOracleCrosscheckFigures(t *testing.T) {
+	cases := []struct {
+		name  string
+		sys   *system.System
+		instr system.InstrSet
+	}{
+		{"Fig1/S", system.Fig1(), system.InstrS},
+		{"Fig1/L", system.Fig1(), system.InstrL},
+		{"Fig2/Q", system.Fig2(), system.InstrQ},
+		{"Fig2/S", system.Fig2(), system.InstrS},
+		{"Fig3/S", system.Fig3(), system.InstrS},
+		{"Fig3/Q", system.Fig3(), system.InstrQ},
+	}
+	for i, tc := range cases {
+		tc := tc
+		seed := int64(100 + i)
+		t.Run(tc.name, func(t *testing.T) {
+			rng := rand.New(rand.NewSource(seed))
+			for trial := 0; trial < 6; trial++ {
+				prog, err := machine.RandomProgram(rng, tc.sys.Names, tc.instr, 2+rng.Intn(9))
+				if err != nil {
+					t.Fatal(err)
+				}
+				crosscheck(t, tc.sys, tc.instr, prog, seed+int64(trial), 4, 30)
+			}
+		})
+	}
+}
+
+func TestOracleCrosscheckDiningTables(t *testing.T) {
+	fork := func(meals int) *machine.Program {
+		prog, err := dining.Program("left", "right", meals)
+		if err != nil {
+			t.Fatal(err)
+		}
+		return prog
+	}
+	cm, err := dining.ChandyMisraProgram(1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	dp5, err := system.Dining(5)
+	if err != nil {
+		t.Fatal(err)
+	}
+	dp6, err := system.DiningFlipped(6)
+	if err != nil {
+		t.Fatal(err)
+	}
+	oriented, err := dining.OrientedTable(5, dining.SingleFlipOrientation(5))
+	if err != nil {
+		t.Fatal(err)
+	}
+	cases := []struct {
+		name string
+		sys  *system.System
+		prog *machine.Program
+	}{
+		{"DP5", dp5, fork(2)},
+		{"DP6-flipped", dp6, fork(2)},
+		{"Oriented5-ChandyMisra", oriented, cm},
+	}
+	for i, tc := range cases {
+		tc := tc
+		seed := int64(200 + i)
+		t.Run(tc.name, func(t *testing.T) {
+			crosscheck(t, tc.sys, system.InstrL, tc.prog, seed, 5, 60)
+		})
+	}
+}
+
+// TestOracleCrosscheckVerdicts re-establishes the paper's headline model
+// checker verdicts and selection winners on the slot-frame VM: DP
+// deadlocks under round-robin, DP' closes deadlock- and violation-free,
+// the naive S selection is unsafe, and L selection picks exactly one
+// stable winner per schedule.
+func TestOracleCrosscheckVerdicts(t *testing.T) {
+	// DP: the symmetric five-table deadlocks under round-robin.
+	dp5, err := simsym.Dining(5)
+	if err != nil {
+		t.Fatal(err)
+	}
+	forks, err := simsym.DiningProgram("left", "right", 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	_, dead, err := dining.FindDeadlockRoundRobin(dp5, forks, 100)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !dead {
+		t.Error("DP: round-robin on the five-table must deadlock")
+	}
+
+	// DP': the alternating table closes with no deadlock and no
+	// exclusion violation.
+	dp4, err := simsym.DiningFlipped(4)
+	if err != nil {
+		t.Fatal(err)
+	}
+	rep, err := simsym.CheckDining(dp4, forks, 1_000_000)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !rep.Complete {
+		t.Error("DP': state space must close")
+	}
+	if rep.Deadlocked != nil || rep.ExclusionViolated != nil {
+		t.Errorf("DP': unexpected violation %+v", rep)
+	}
+
+	// Theorem 1 strawman: the naive S selection on Figure 1 is unsafe.
+	b := simsym.NewProgram()
+	x, selected, mark := b.Sym("x"), b.Sym("selected"), b.Sym("mark")
+	b.Read("n", "x")
+	b.Compute(func(r *simsym.Regs) {
+		if r.Get(x) == "0" {
+			r.Set(selected, true)
+			r.Set(mark, "taken")
+		} else {
+			r.Set(mark, "seen")
+		}
+	})
+	b.Write("n", "mark")
+	b.Halt()
+	naive, err := b.Build()
+	if err != nil {
+		t.Fatal(err)
+	}
+	safe, _, err := simsym.CheckSelectionSafety(simsym.Fig1(), simsym.InstrS, naive, 100_000)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if safe {
+		t.Error("naive S selection must be flagged unsafe")
+	}
+
+	// L selection: the generated program picks exactly one winner, and
+	// the winner is a deterministic function of the schedule.
+	prog, dec, err := simsym.BuildSelect(simsym.Fig1(), simsym.InstrL, simsym.SchedGeneral)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !dec.Solvable {
+		t.Fatal("selection in L on Figure 1 must be solvable")
+	}
+	// The generated program is Algorithm 4 (relabel + two label-learning
+	// phases) and converges under fair rounds, so schedules are built as
+	// shuffled rounds: every processor once per round, order randomized.
+	rng := rand.New(rand.NewSource(42))
+	for trial := 0; trial < 5; trial++ {
+		var schedule []int
+		for round := 0; round < 400; round++ {
+			if rng.Intn(2) == 0 {
+				schedule = append(schedule, 0, 1)
+			} else {
+				schedule = append(schedule, 1, 0)
+			}
+		}
+		var winners [2][]int
+		for run := 0; run < 2; run++ {
+			m, err := simsym.NewMachine(simsym.Fig1(), simsym.InstrL, prog)
+			if err != nil {
+				t.Fatal(err)
+			}
+			for _, p := range schedule {
+				if err := m.Step(p); err != nil {
+					t.Fatal(err)
+				}
+			}
+			winners[run] = m.SelectedProcs()
+		}
+		if len(winners[0]) != 1 {
+			t.Fatalf("trial %d: selected %v, want exactly one winner", trial, winners[0])
+		}
+		if len(winners[1]) != 1 || winners[0][0] != winners[1][0] {
+			t.Fatalf("trial %d: winners diverge across identical schedules: %v vs %v", trial, winners[0], winners[1])
+		}
+	}
+}

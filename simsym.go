@@ -53,8 +53,11 @@ type (
 	Program = machine.Program
 	// ProgramBuilder assembles programs.
 	ProgramBuilder = machine.Builder
-	// Locals is a processor's local store.
-	Locals = machine.Locals
+	// Sym is an interned local-variable slot index.
+	Sym = machine.Sym
+	// Regs is a slot-addressed view of a processor's local store, passed
+	// to Compute and JumpIf closures.
+	Regs = machine.Regs
 
 	// Orbits holds automorphism orbits (graph-theoretic symmetry).
 	Orbits = autgrp.Orbits
