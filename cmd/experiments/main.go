@@ -31,7 +31,7 @@ var registry = []struct {
 	{"E2", func() (*experiments.Table, error) { return experiments.E2Alibi(5) }},
 	{"E3", experiments.E3Mimic},
 	{"E4", experiments.E4DP5},
-	{"E5", func() (*experiments.Table, error) { return experiments.E5DP6(60_000) }},
+	{"E5", func() (*experiments.Table, error) { return experiments.E5DP6(10_000_000) }},
 	{"E6", func() (*experiments.Table, error) {
 		return experiments.E6Scaling([]int{64, 256, 1024, 4096, 16384, 65536}, 1024)
 	}},

@@ -1,0 +1,147 @@
+package canon
+
+import (
+	"bytes"
+	"fmt"
+	"math/rand"
+	"testing"
+)
+
+// buildKey assembles a state key from components the way
+// machine.AppendStateKey does: uvarint-length-prefixed concatenation.
+func buildKey(components []string) []byte {
+	var buf []byte
+	for _, c := range components {
+		buf = AppendLenPrefixed(buf, c)
+	}
+	return buf
+}
+
+func TestKeyDeltaRoundTrip(t *testing.T) {
+	base := buildKey([]string{"pc=0", "pc=1,halted", "x=taken", "", "lock:2"})
+	cases := [][]string{
+		{"pc=0", "pc=1,halted", "x=taken", "", "lock:2"},       // identical
+		{"pc=7", "pc=1,halted", "x=taken", "", "lock:2"},       // first changed
+		{"pc=0", "pc=1,halted", "x=taken", "", "lock:0"},       // last changed
+		{"pc=0", "pc=2", "x=free", "", "lock:2"},               // middle pair
+		{"a", "b", "c", "d", "e"},                              // all changed
+		{"pc=0", "pc=1,halted", "x=taken", "nonempty", "lock:2"}, // empty -> set
+	}
+	for i, comps := range cases {
+		key := buildKey(comps)
+		delta, ok := AppendKeyDelta(nil, base, key)
+		if !ok {
+			t.Fatalf("case %d: delta should be encodable", i)
+		}
+		back, err := ApplyKeyDelta(nil, base, delta)
+		if err != nil {
+			t.Fatalf("case %d: apply: %v", i, err)
+		}
+		if !bytes.Equal(back, key) {
+			t.Errorf("case %d: round trip mismatch: %q vs %q", i, back, key)
+		}
+		if !KeyDeltaEqual(base, delta, key) {
+			t.Errorf("case %d: KeyDeltaEqual should accept the round trip", i)
+		}
+		// The streaming comparison must reject every other case's key.
+		for j, other := range cases {
+			if j == i {
+				continue
+			}
+			if KeyDeltaEqual(base, delta, buildKey(other)) {
+				t.Errorf("case %d: delta must not match case %d's key", i, j)
+			}
+		}
+	}
+}
+
+func TestKeyDeltaDeterministic(t *testing.T) {
+	base := buildKey([]string{"a", "bb", "ccc"})
+	key := buildKey([]string{"a", "xx", "ccc"})
+	d1, ok1 := AppendKeyDelta(nil, base, key)
+	d2, ok2 := AppendKeyDelta(nil, base, key)
+	if !ok1 || !ok2 || !bytes.Equal(d1, d2) {
+		t.Fatalf("delta encoding must be deterministic: %v %v", d1, d2)
+	}
+}
+
+func TestKeyDeltaIncomparable(t *testing.T) {
+	base := buildKey([]string{"a", "b", "c"})
+	// Different component count: not delta-encodable.
+	if _, ok := AppendKeyDelta(nil, base, buildKey([]string{"a", "b"})); ok {
+		t.Error("shorter key must not be delta-encodable")
+	}
+	if _, ok := AppendKeyDelta(nil, base, buildKey([]string{"a", "b", "c", "d"})); ok {
+		t.Error("longer key must not be delta-encodable")
+	}
+	// Malformed framing: a truncated length prefix.
+	if _, ok := AppendKeyDelta(nil, base, []byte{0xff}); ok {
+		t.Error("malformed key must not be delta-encodable")
+	}
+	if _, ok := AppendKeyDelta(nil, []byte{0xff}, base); ok {
+		t.Error("malformed base must not be delta-encodable")
+	}
+	// dst must come back unchanged on failure.
+	dst := []byte("prefix")
+	out, ok := AppendKeyDelta(dst, base, buildKey([]string{"a"}))
+	if ok || !bytes.Equal(out, []byte("prefix")) {
+		t.Errorf("failed encode must leave dst unchanged, got %q", out)
+	}
+}
+
+func TestApplyKeyDeltaRejectsGarbage(t *testing.T) {
+	base := buildKey([]string{"a", "b"})
+	for _, bad := range [][]byte{
+		{},                 // missing count
+		{2, 0},             // count 2 but one truncated patch
+		{1, 9, 1, 'x'},     // index 9 out of range
+		{1, 0, 0xff},       // malformed component
+		append(append([]byte{1, 0}, AppendLenPrefixed(nil, "z")...), 0x7), // trailing garbage
+	} {
+		if _, err := ApplyKeyDelta(nil, base, bad); err == nil {
+			t.Errorf("delta %v should be rejected", bad)
+		}
+		if KeyDeltaEqual(base, bad, base) {
+			t.Errorf("KeyDeltaEqual must reject delta %v", bad)
+		}
+	}
+}
+
+// TestKeyDeltaQuick fuzzes the codec with random component vectors: the
+// round trip must be exact and the streaming comparison must agree with
+// the materialized comparison on both equal and perturbed keys.
+func TestKeyDeltaQuick(t *testing.T) {
+	rng := rand.New(rand.NewSource(1))
+	for iter := 0; iter < 500; iter++ {
+		n := 1 + rng.Intn(12)
+		baseC := make([]string, n)
+		keyC := make([]string, n)
+		for i := range baseC {
+			baseC[i] = fmt.Sprintf("c%d=%d", i, rng.Intn(4))
+			if rng.Intn(3) == 0 {
+				keyC[i] = fmt.Sprintf("c%d=%d!", i, rng.Intn(4))
+			} else {
+				keyC[i] = baseC[i]
+			}
+		}
+		base, key := buildKey(baseC), buildKey(keyC)
+		delta, ok := AppendKeyDelta(nil, base, key)
+		if !ok {
+			t.Fatalf("iter %d: same-arity keys must be encodable", iter)
+		}
+		back, err := ApplyKeyDelta(nil, base, delta)
+		if err != nil || !bytes.Equal(back, key) {
+			t.Fatalf("iter %d: round trip failed: %v", iter, err)
+		}
+		if !KeyDeltaEqual(base, delta, key) {
+			t.Fatalf("iter %d: streaming equal disagreed on equal keys", iter)
+		}
+		// Perturb one component of key: the comparison must fail.
+		j := rng.Intn(n)
+		mut := append([]string(nil), keyC...)
+		mut[j] += "#"
+		if KeyDeltaEqual(base, delta, buildKey(mut)) {
+			t.Fatalf("iter %d: streaming equal accepted a perturbed key", iter)
+		}
+	}
+}

@@ -64,4 +64,15 @@ func BenchmarkCheckThroughput(b *testing.B) {
 	b.Run("sym+par", func(b *testing.B) {
 		runThroughput(b, Options{SymmetryReduce: true, Workers: workers})
 	})
+	shards := workers
+	if shards < 4 {
+		shards = 4 // exercise the sharded pipeline even on small hosts
+	}
+	b.Run("sharded", func(b *testing.B) {
+		runThroughput(b, Options{Workers: workers, Shards: shards})
+	})
+	b.Run("sharded+spill", func(b *testing.B) {
+		runThroughput(b, Options{Workers: workers, Shards: shards,
+			HotIndexBytes: 1 << 20, SpillDir: b.TempDir()})
+	})
 }

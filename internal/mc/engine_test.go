@@ -181,8 +181,10 @@ func TestProgressCallback(t *testing.T) {
 	}
 }
 
-// checkModes runs the same check in all four engine modes and returns
-// the results keyed by mode name.
+// checkModes runs the same check in every engine mode — sequential,
+// parallel, symmetry-reduced, sharded, and sharded with a spill tier so
+// tight that every finalized index chunk lands on disk — and returns the
+// results keyed by mode name.
 func checkModes(t *testing.T, factory func() (*machine.Machine, error), opts Options) map[string]*Result {
 	t.Helper()
 	out := make(map[string]*Result)
@@ -190,15 +192,25 @@ func checkModes(t *testing.T, factory func() (*machine.Machine, error), opts Opt
 		name    string
 		sym     bool
 		workers int
+		shards  int
+		hot     int64
 	}{
-		{"seq", false, 0},
-		{"par", false, 4},
-		{"sym", true, 0},
-		{"sym+par", true, 4},
+		{"seq", false, 0, 0, 0},
+		{"par", false, 4, 0, 0},
+		{"sym", true, 0, 0, 0},
+		{"sym+par", true, 4, 0, 0},
+		{"shard", false, 4, 4, 0},
+		{"shard+sym", true, 4, 4, 0},
+		{"shard+spill", false, 4, 4, 1},
 	} {
 		o := opts
 		o.SymmetryReduce = mode.sym
 		o.Workers = mode.workers
+		o.Shards = mode.shards
+		o.HotIndexBytes = mode.hot
+		if mode.hot > 0 {
+			o.SpillDir = t.TempDir()
+		}
 		res, err := Check(factory, o)
 		if err != nil {
 			t.Fatalf("%s: %v", mode.name, err)
@@ -259,6 +271,9 @@ func TestParallelIdenticalToSequential(t *testing.T) {
 			modes := checkModes(t, tc.factory, tc.opts)
 			assertIdentical(t, modes["seq"], modes["par"], "parallel vs sequential")
 			assertIdentical(t, modes["sym"], modes["sym+par"], "sym parallel vs sym sequential")
+			assertIdentical(t, modes["seq"], modes["shard"], "sharded vs sequential")
+			assertIdentical(t, modes["seq"], modes["shard+spill"], "sharded+spill vs sequential")
+			assertIdentical(t, modes["sym"], modes["shard+sym"], "sharded sym vs sym sequential")
 		})
 	}
 }

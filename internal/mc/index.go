@@ -2,66 +2,497 @@ package mc
 
 import (
 	"bytes"
+	"fmt"
+	"os"
+	"path/filepath"
 
 	"simsym/internal/canon"
 )
 
-// stateIndex is the checker's visited set: a compact hashed index over
-// binary state keys, mirroring partition.SigTable. Keys are bucketed by
-// their 64-bit FNV-1a hash and a bucket hit is confirmed by comparing the
-// exact encodings, so ids are collision-free by construction — hash
-// quality affects only speed, never verdicts. All keys live back-to-back
-// in one backing array instead of one heap string per state, which is
-// what lets the checker hold hundreds of thousands of states without
-// materializing megabytes of map keys.
+// stateIndex is the checker's visited set: a hash-sharded, delta-encoded
+// index over binary state keys built to hold 10⁸⁺ states. Keys are
+// routed to a shard by the top bits of their 64-bit FNV-1a hash; inside
+// a shard they are bucketed by the full hash and a bucket hit is
+// confirmed by comparing the exact encodings, so ids are collision-free
+// by construction — hash quality affects only speed, never verdicts.
 //
-// Ids are dense and assigned in insertion order, so they double as node
-// indices in the checker's exploration bookkeeping.
+// Three mechanisms keep the per-state footprint small:
+//
+//   - Ids are int64 (they used to be int32, which silently truncated
+//     and aliased distinct states past 2³¹ — exactly the scale this
+//     index targets). Ids are dense and assigned in insertion order, so
+//     they double as node indices in the checker's bookkeeping; baseID
+//     lets tests pin the id stream right at the old 32-bit boundary.
+//   - Key bytes live in per-shard chunked arenas (fixed-size chunks,
+//     append-only, never moved once allocated), and a key whose BFS
+//     lineage stays close to a full-stored ancestor is stored as a
+//     canon.AppendKeyDelta patch against that ancestor. Every delta
+//     points directly at a full-stored ancestor (chain length one by
+//     construction): a state delta-encodes against its parent's
+//     keyframe while the patch stays small, and becomes a new keyframe
+//     once the lineage has drifted too far.
+//   - When a hot-bytes cap is set, cold chunks spill FIFO to a per-shard
+//     file (BFS rarely re-touches old levels, so the spilled majority is
+//     read back only on genuine dedup hits against deep history). File
+//     offsets equal logical arena offsets, so spilling never rewrites an
+//     entry.
+//
+// Concurrency contract (the engine's sharded level pipeline): during the
+// staging phase each shard is touched only by its owner goroutine, and
+// staging never reads another shard — cross-shard work (ancestor
+// resolution, deferred exact comparisons, spilling) happens only on the
+// coordinating goroutine between phases. The index therefore needs no
+// locks; determinism comes from reduction, not serialization.
 type stateIndex struct {
-	buckets map[uint64][]int32
-	backing []byte
-	spans   [][2]int
+	shards     []indexShard
+	shardShift uint // shard id = hash >> shardShift (len(shards) > 1)
+	// where maps gid-baseID to its shard and shard-local entry index,
+	// packed shard<<48 | idx. Dense: one word per visited state.
+	where  []uint64
+	baseID int64 // first gid assigned; nonzero only in boundary tests
+
+	hotCapBytes int64  // spill threshold over all shards; 0 = never spill
+	spillDir    string // parent dir for the spill tempdir
+	spillPath   string // created tempdir; "" until first spill
+
+	// Coordinator-side scratch for exact comparisons of spilled entries.
+	scrA, scrB []byte
+
+	// Spill accounting (coordinator-only writes).
+	spilledBytes int64
+	spillFlushes int64
 }
 
-// lookup returns the id of key and whether it is present, plus the key's
-// hash so a following insert does not rehash.
-func (t *stateIndex) lookup(key []byte) (id int, hash uint64, ok bool) {
-	hash = canon.HashBytes(key)
-	if t.buckets == nil {
-		return 0, hash, false
+// indexShard holds one hash slice of the visited set. All mutation goes
+// through its owner: the staging goroutine during the parallel phase,
+// the coordinator otherwise.
+type indexShard struct {
+	buckets map[uint64][]int64 // full key hash -> shard-local entry indices
+	entries []entry
+	chunks  [][]byte // chunk i covers logical offsets [i<<chunkShift, ...)
+	used    int64    // logical end offset of written bytes
+	bound   int64    // offsets below bound are on disk, chunks nil-ed
+	file    *os.File
+	scratch []byte // delta-encode buffer, reused across stages
+
+	// Exact capacity accounting, maintained incrementally on append.
+	bucketCapBytes int64 // Σ cap of bucket slices × 8
+	padBytes       int64 // alignment waste inside chunks
+
+	// Delta statistics (owner-only writes, summed on snapshot).
+	deltaStates  int64
+	storedBytes  int64 // bytes as stored (full or delta)
+	logicalBytes int64 // bytes the full keys would have taken
+}
+
+// entry is one visited state: where its (full or delta) bytes live and
+// which full-stored ancestor a delta patches.
+type entry struct {
+	gid int64 // dense id; -1 while staged and not yet committed
+	anc int64 // gid of the full-stored ancestor a delta patches; -1 = full
+	off int64 // logical offset of the stored bytes in the shard arena
+	n   int32 // stored length
+}
+
+const (
+	chunkShift = 16 // 64 KiB chunks
+	chunkSize  = 1 << chunkShift
+	chunkMask  = chunkSize - 1
+
+	// entrySize/mapEntryOverhead feed the memory estimate: the entry
+	// struct itself and the amortized per-key cost of a Go
+	// map[uint64][]int64 header (key + slice header + tophash/overflow
+	// bookkeeping), excluding the bucket slices' backing arrays, which
+	// are tracked exactly in bucketCapBytes.
+	entrySize        = 32
+	mapEntryOverhead = 48
+
+	// A delta is stored only while it is meaningfully smaller than the
+	// full key; otherwise the state becomes a new full-stored keyframe.
+	deltaNum, deltaDen = 1, 2
+)
+
+// newStateIndex sizes the index: shards is clamped to a power of two in
+// [1, 256]; hotCapBytes > 0 arms the spill tier, writing under dir
+// (os.TempDir() when dir is empty).
+func newStateIndex(shards int, hotCapBytes int64, dir string) *stateIndex {
+	s := 1
+	for s < shards && s < 256 {
+		s <<= 1
 	}
-	for _, id := range t.buckets[hash] {
-		sp := t.spans[id]
-		if bytes.Equal(t.backing[sp[0]:sp[1]], key) {
-			return int(id), hash, true
+	return &stateIndex{
+		shards:      make([]indexShard, s),
+		shardShift:  64 - uint(bitLen(s-1)),
+		hotCapBytes: hotCapBytes,
+		spillDir:    dir,
+	}
+}
+
+func bitLen(x int) int {
+	n := 0
+	for x > 0 {
+		n++
+		x >>= 1
+	}
+	return n
+}
+
+// shardOf routes a key hash to its owning shard.
+func (t *stateIndex) shardOf(hash uint64) int {
+	if len(t.shards) == 1 {
+		return 0
+	}
+	return int(hash >> t.shardShift)
+}
+
+// nextGID is the id the next committed state will receive.
+func (t *stateIndex) nextGID() int64 { return t.baseID + int64(len(t.where)) }
+
+// entryAt resolves a committed gid to its shard and entry.
+func (t *stateIndex) entryAt(gid int64) (*indexShard, *entry) {
+	loc := t.where[gid-t.baseID]
+	sh := &t.shards[loc>>48]
+	return sh, &sh.entries[loc&(1<<48-1)]
+}
+
+// lookupHashed reports whether key (with its precomputed hash) is
+// already indexed, and its id if so. Coordinator-only: comparing against
+// delta-stored or spilled entries may touch any shard.
+func (t *stateIndex) lookupHashed(key []byte, hash uint64) (gid int64, ok bool, err error) {
+	sh := &t.shards[t.shardOf(hash)]
+	for _, ei := range sh.buckets[hash] {
+		e := &sh.entries[ei]
+		eq, err := t.entryEqual(sh, e, key)
+		if err != nil {
+			return 0, false, err
+		}
+		if eq {
+			return e.gid, true, nil
 		}
 	}
-	return 0, hash, false
+	return 0, false, nil
 }
 
-// insert adds key (not yet present, with hash from lookup) and returns
-// its dense id. key is copied; the caller keeps ownership of the buffer.
-func (t *stateIndex) insert(key []byte, hash uint64) int {
-	if t.buckets == nil {
-		t.buckets = make(map[uint64][]int32)
+// entryEqual compares a stored entry against a candidate key exactly.
+// Full entries compare directly; delta entries stream-compare via
+// canon.KeyDeltaEqual against their ancestor's bytes without
+// materializing the patched key. Spilled bytes are read back through the
+// coordinator scratch buffers.
+func (t *stateIndex) entryEqual(sh *indexShard, e *entry, key []byte) (bool, error) {
+	raw, err := sh.read(e.off, int(e.n), &t.scrA)
+	if err != nil {
+		return false, err
 	}
-	id := len(t.spans)
-	start := len(t.backing)
-	t.backing = append(t.backing, key...)
-	t.spans = append(t.spans, [2]int{start, len(t.backing)})
-	t.buckets[hash] = append(t.buckets[hash], int32(id))
-	return id
+	if e.anc < 0 {
+		return bytes.Equal(raw, key), nil
+	}
+	ancSh, ancE := t.entryAt(e.anc)
+	ancRaw, err := ancSh.read(ancE.off, int(ancE.n), &t.scrB)
+	if err != nil {
+		return false, err
+	}
+	return canon.KeyDeltaEqual(ancRaw, raw, key), nil
 }
 
-// len returns the number of indexed states.
-func (t *stateIndex) len() int { return len(t.spans) }
+// ancestorFor returns the full-stored ancestor of a committed state: the
+// state itself when stored full, its keyframe otherwise. Hot entries are
+// returned zero-copy (chunks never move, so the slice stays valid);
+// spilled entries are appended into arena with stable-arena semantics —
+// earlier slices handed out from the same arena remain valid.
+// Coordinator-only.
+func (t *stateIndex) ancestorFor(gid int64, arena *[]byte) (ancGID int64, ancKey []byte, err error) {
+	sh, e := t.entryAt(gid)
+	if e.anc >= 0 {
+		gid = e.anc
+		sh, e = t.entryAt(gid)
+	}
+	// Ancestors are full-stored by construction (a delta's anc always
+	// names a keyframe).
+	key, err := sh.readStable(e.off, int(e.n), arena)
+	if err != nil {
+		return 0, nil, err
+	}
+	return gid, key, nil
+}
 
-// memBytes estimates the index's memory footprint: backing array, span
-// table, and bucket map overhead.
+// insert commits key (not yet present; hash as from lookupHashed) with
+// the next dense id and returns it. ancGID/ancKey name the full-stored
+// ancestor candidate for delta encoding; ancGID < 0 forces full storage.
+// key is copied; the caller keeps ownership of its buffer.
+// Coordinator-only.
+func (t *stateIndex) insert(key []byte, hash uint64, ancGID int64, ancKey []byte) int64 {
+	si := t.shardOf(hash)
+	ei := t.shards[si].stage(key, hash, ancGID, ancKey)
+	return t.commitStaged(si, ei)
+}
+
+// stageNew stages key into shard si if and only if its hash bucket is
+// empty, returning the shard-local entry index. A non-empty bucket
+// defers the exact comparison to the coordinator's commit pass — this is
+// what keeps the staging phase free of cross-shard reads. Owner-only.
+func (t *stateIndex) stageNew(si int, key []byte, hash uint64, ancGID int64, ancKey []byte) (ei int64, staged bool) {
+	sh := &t.shards[si]
+	if len(sh.buckets[hash]) > 0 {
+		return 0, false
+	}
+	return sh.stage(key, hash, ancGID, ancKey), true
+}
+
+// commitStaged assigns the next dense id to a staged entry.
+// Coordinator-only.
+func (t *stateIndex) commitStaged(si int, ei int64) int64 {
+	sh := &t.shards[si]
+	gid := t.nextGID()
+	sh.entries[ei].gid = gid
+	t.where = append(t.where, uint64(si)<<48|uint64(ei))
+	return gid
+}
+
+// entryRef returns a staged or committed entry by shard-local index.
+func (t *stateIndex) entryRef(si int, ei int64) (*indexShard, *entry) {
+	sh := &t.shards[si]
+	return sh, &sh.entries[ei]
+}
+
+// stage appends key to the shard: delta-encoded against ancKey when the
+// patch wins by the deltaNum/deltaDen margin, full otherwise. The entry
+// starts uncommitted (gid -1). Owner-only.
+func (sh *indexShard) stage(key []byte, hash uint64, ancGID int64, ancKey []byte) int64 {
+	stored := key
+	anc := int64(-1)
+	if ancGID >= 0 && len(ancKey) > 0 {
+		if delta, ok := canon.AppendKeyDelta(sh.scratch[:0], ancKey, key); ok {
+			sh.scratch = delta
+			if len(delta)*deltaDen <= len(key)*deltaNum {
+				stored = delta
+				anc = ancGID
+			}
+		}
+	}
+	off := sh.write(stored)
+	if anc >= 0 {
+		sh.deltaStates++
+	}
+	sh.storedBytes += int64(len(stored))
+	sh.logicalBytes += int64(len(key))
+	ei := int64(len(sh.entries))
+	sh.entries = append(sh.entries, entry{gid: -1, anc: anc, off: off, n: int32(len(stored))})
+	if sh.buckets == nil {
+		sh.buckets = make(map[uint64][]int64)
+	}
+	bkt := sh.buckets[hash]
+	oldCap := cap(bkt)
+	bkt = append(bkt, ei)
+	sh.buckets[hash] = bkt
+	sh.bucketCapBytes += int64(cap(bkt)-oldCap) * 8
+	return ei
+}
+
+// write appends b to the chunked arena and returns its logical offset.
+// Items never straddle a chunk boundary: a tail that cannot fit the item
+// is padding, and an item larger than a chunk gets a dedicated
+// exactly-sized chunk whose trailing slots are nil placeholders so chunk
+// indices keep matching off >> chunkShift.
+func (sh *indexShard) write(b []byte) int64 {
+	n := len(b)
+	pos := int(sh.used & chunkMask)
+	if pos > 0 && pos+n > chunkSize {
+		sh.padBytes += int64(chunkSize - pos)
+		sh.used = (sh.used + chunkMask) &^ int64(chunkMask)
+		pos = 0
+	}
+	ci := int(sh.used >> chunkShift)
+	if ci >= len(sh.chunks) {
+		size := chunkSize
+		if n > chunkSize {
+			size = n
+		}
+		sh.chunks = append(sh.chunks, make([]byte, size))
+	}
+	copy(sh.chunks[ci][pos:], b)
+	off := sh.used
+	sh.used += int64(n)
+	if n > chunkSize {
+		end := (sh.used + chunkMask) &^ int64(chunkMask)
+		sh.padBytes += end - sh.used
+		sh.used = end
+		for int64(len(sh.chunks))<<chunkShift < sh.used {
+			sh.chunks = append(sh.chunks, nil)
+		}
+	}
+	return off
+}
+
+// read returns the stored bytes at [off, off+n): zero-copy from a hot
+// chunk, read through scratch from the spill file otherwise. The result
+// is valid until the next read through the same scratch.
+func (sh *indexShard) read(off int64, n int, scratch *[]byte) ([]byte, error) {
+	if off >= sh.bound {
+		pos := int(off & chunkMask)
+		return sh.chunks[off>>chunkShift][pos : pos+n], nil
+	}
+	if cap(*scratch) < n {
+		*scratch = make([]byte, n+n/2)
+	}
+	buf := (*scratch)[:n]
+	if _, err := sh.file.ReadAt(buf, off); err != nil {
+		return nil, fmt.Errorf("mc: spill read: %w", err)
+	}
+	return buf, nil
+}
+
+// readStable is read with stable-arena semantics for spilled entries:
+// when the arena block is full a fresh block is started rather than
+// grown, so slices previously returned from the same arena stay valid
+// (the old blocks are garbage-collected once their slices die).
+func (sh *indexShard) readStable(off int64, n int, arena *[]byte) ([]byte, error) {
+	if off >= sh.bound {
+		pos := int(off & chunkMask)
+		return sh.chunks[off>>chunkShift][pos : pos+n], nil
+	}
+	a := *arena
+	if cap(a)-len(a) < n {
+		size := chunkSize
+		if n > size {
+			size = n
+		}
+		a = make([]byte, 0, size)
+	}
+	buf := a[len(a) : len(a)+n]
+	if _, err := sh.file.ReadAt(buf, off); err != nil {
+		return nil, fmt.Errorf("mc: spill read: %w", err)
+	}
+	*arena = a[:len(a)+n]
+	return buf, nil
+}
+
+// hotBytes is the in-memory arena footprint of the shard.
+func (sh *indexShard) hotBytes() int64 {
+	var total int64
+	for _, c := range sh.chunks {
+		total += int64(len(c))
+	}
+	return total
+}
+
+// maybeSpill flushes finalized cold chunks FIFO to the per-shard spill
+// files until the hot arenas fit under the cap again. Coordinator-only,
+// called between BFS levels so no staging goroutine holds hot slices.
+// Returns the bytes moved to disk by this call.
+func (t *stateIndex) maybeSpill() (int64, error) {
+	if t.hotCapBytes <= 0 {
+		return 0, nil
+	}
+	var hot int64
+	for i := range t.shards {
+		hot += t.shards[i].hotBytes()
+	}
+	if hot <= t.hotCapBytes {
+		return 0, nil
+	}
+	if t.spillPath == "" {
+		dir := t.spillDir
+		if dir == "" {
+			dir = os.TempDir()
+		}
+		path, err := os.MkdirTemp(dir, "mc-spill-*")
+		if err != nil {
+			return 0, fmt.Errorf("mc: spill: %w", err)
+		}
+		t.spillPath = path
+	}
+	var freed int64
+	for i := range t.shards {
+		sh := &t.shards[i]
+		for hot-freed > t.hotCapBytes {
+			ci := int(sh.bound >> chunkShift)
+			if ci >= len(sh.chunks) {
+				break
+			}
+			c := sh.chunks[ci]
+			if c == nil { // placeholder slot of an already-spilled jumbo chunk
+				sh.bound = int64(ci+1) << chunkShift
+				continue
+			}
+			chunkEnd := int64(ci)<<chunkShift + int64(len(c))
+			if chunkEnd > sh.used {
+				break // the active chunk still accepts appends
+			}
+			if sh.file == nil {
+				f, err := os.OpenFile(filepath.Join(t.spillPath, fmt.Sprintf("shard-%03d", i)),
+					os.O_RDWR|os.O_CREATE, 0o600)
+				if err != nil {
+					return freed, fmt.Errorf("mc: spill: %w", err)
+				}
+				sh.file = f
+			}
+			if _, err := sh.file.WriteAt(c, int64(ci)<<chunkShift); err != nil {
+				return freed, fmt.Errorf("mc: spill write: %w", err)
+			}
+			freed += int64(len(c))
+			t.spilledBytes += int64(len(c))
+			sh.chunks[ci] = nil
+			sh.bound = (chunkEnd + chunkMask) &^ int64(chunkMask)
+		}
+	}
+	if freed > 0 {
+		t.spillFlushes++
+	}
+	return freed, nil
+}
+
+// release closes and removes the spill tier. Idempotent.
+func (t *stateIndex) release() {
+	for i := range t.shards {
+		if f := t.shards[i].file; f != nil {
+			f.Close()
+			t.shards[i].file = nil
+		}
+	}
+	if t.spillPath != "" {
+		os.RemoveAll(t.spillPath)
+		t.spillPath = ""
+	}
+}
+
+// indexStats is the index's observability snapshot.
+type indexStats struct {
+	shards       int
+	deltaStates  int64
+	storedBytes  int64
+	logicalBytes int64
+	spilledBytes int64
+	spillFlushes int64
+}
+
+func (t *stateIndex) statsSnapshot() indexStats {
+	s := indexStats{shards: len(t.shards), spilledBytes: t.spilledBytes, spillFlushes: t.spillFlushes}
+	for i := range t.shards {
+		sh := &t.shards[i]
+		s.deltaStates += sh.deltaStates
+		s.storedBytes += sh.storedBytes
+		s.logicalBytes += sh.logicalBytes
+	}
+	return s
+}
+
+// memBytes estimates the index's resident memory footprint from
+// capacities, not lengths: allocated chunk bytes (a half-filled chunk
+// costs its full size), the entry tables' capacity, the bucket slices'
+// exact capacity (tracked as they grow), the bucket maps' per-key
+// overhead, and the dense id table. Spilled bytes live on disk and are
+// deliberately excluded. Keeping this honest is what lets MaxMemBytes
+// degrade into a Partial result instead of an OOM.
 func (t *stateIndex) memBytes() int64 {
-	const bucketOverhead = 48 // map entry + slice header amortized
-	return int64(cap(t.backing)) +
-		int64(cap(t.spans))*16 +
-		int64(len(t.buckets))*bucketOverhead +
-		int64(len(t.spans))*4
+	total := int64(cap(t.where)) * 8
+	total += int64(cap(t.scrA) + cap(t.scrB))
+	for i := range t.shards {
+		sh := &t.shards[i]
+		total += sh.hotBytes()
+		total += int64(cap(sh.entries)) * entrySize
+		total += sh.bucketCapBytes
+		total += int64(len(sh.buckets)) * mapEntryOverhead
+		total += int64(cap(sh.scratch))
+	}
+	return total
 }

@@ -40,6 +40,7 @@ import (
 	"time"
 
 	"simsym/internal/autgrp"
+	"simsym/internal/canon"
 	"simsym/internal/machine"
 	"simsym/internal/obs"
 	"simsym/internal/system"
@@ -94,6 +95,28 @@ type Options struct {
 	// label-for-label identical to the sequential engine; predicates are
 	// only ever called from the merging goroutine.
 	Workers int
+	// Shards > 1 selects the sharded level pipeline: the visited index
+	// splits into Shards hash-addressed shards (rounded up to a power of
+	// two, capped at 256) and each BFS level runs as parallel expansion,
+	// parallel per-shard staging (each shard owned by one goroutine, no
+	// locks, no cross-shard reads), and a canonical-order commit pass.
+	// The commit pass processes successors in exactly the frontier order
+	// the sequential merge would, so verdicts, witness schedules, state
+	// counts, and stats stay label-for-label identical to the sequential
+	// engine — determinism by reduction rather than by serializing index
+	// probes. Combine with Workers to parallelize expansion too.
+	Shards int
+	// HotIndexBytes > 0 caps the visited index's in-memory key arenas:
+	// when the hot tier outgrows the cap, cold arena chunks spill FIFO to
+	// per-shard temp files under SpillDir at level boundaries and are
+	// read back transparently on dedup probes against deep history. The
+	// cap governs only key storage; bucket tables and node bookkeeping
+	// stay resident (MaxMemBytes still bounds the estimated total, which
+	// excludes spilled bytes).
+	HotIndexBytes int64
+	// SpillDir is the parent directory for spill files (os.TempDir()
+	// when empty); the spill tier is removed when the check returns.
+	SpillDir string
 	// Progress, when non-nil, receives a Stats snapshot roughly every
 	// ProgressEvery explored states and once when the check finishes.
 	Progress func(Stats)
@@ -162,6 +185,19 @@ type Stats struct {
 	// GroupOrder is the automorphism count used for symmetry reduction
 	// (1 when reduction is off or the group is trivial).
 	GroupOrder int
+	// Shards is the visited-index shard count in effect (1 for the
+	// unsharded layout).
+	Shards int
+	// DeltaStates counts visited states whose key is stored as a delta
+	// against a BFS ancestor's key rather than in full.
+	DeltaStates int64
+	// StoredKeyBytes and LogicalKeyBytes measure delta compression:
+	// key bytes as stored versus what full keys would have occupied.
+	StoredKeyBytes  int64
+	LogicalKeyBytes int64
+	// SpilledBytes counts visited-index bytes resident on disk (their
+	// peak; spilled bytes are excluded from PeakMemBytes).
+	SpilledBytes int64
 	// Elapsed is the wall-clock time spent exploring so far.
 	Elapsed time.Duration
 	// StatesPerSec is StatesExplored / Elapsed.
@@ -192,9 +228,11 @@ type node struct {
 	succs  []int
 }
 
-// succSpan locates one successor's key inside a batch arena.
+// succSpan locates one successor's key inside a batch arena, along with
+// the key's hash (computed during expansion, off the merge path).
 type succSpan struct {
 	start, end int
+	hash       uint64
 	selfLoop   bool
 }
 
@@ -218,7 +256,7 @@ type checker struct {
 	deadline      time.Time
 	start         time.Time
 	perms         []system.Permutation // non-identity automorphisms
-	idx           stateIndex
+	idx           *stateIndex
 	nodes         []node
 	level         []*machine.Machine
 	levelIdx      []int
@@ -229,6 +267,14 @@ type checker struct {
 	sinceProgress int
 	seqBatch      batch
 	parBatches    []batch
+
+	// Sharded-pipeline bookkeeping (see sharded.go): per-frontier-state
+	// delta ancestors resolved before expansion, per-successor staging
+	// outcomes, and the stable arena spilled ancestor keys are read into.
+	ancGIDs  []int64
+	ancKeys  [][]byte
+	ancArena []byte
+	outcomes []int64
 }
 
 // Check explores all schedules of the machine produced by factory().
@@ -250,7 +296,9 @@ func Check(factory func() (*machine.Machine, error), opts Options) (*Result, err
 		progressEvery: opts.ProgressEvery,
 		start:         time.Now(),
 		res:           &Result{},
+		idx:           newStateIndex(opts.Shards, opts.HotIndexBytes, opts.SpillDir),
 	}
+	defer c.idx.release()
 	c.stats = &c.res.Stats
 	c.stats.GroupOrder = 1
 	if c.maxStates <= 0 {
@@ -307,9 +355,12 @@ func Check(factory func() (*machine.Machine, error), opts Options) (*Result, err
 		}
 		var done bool
 		var err error
-		if workers > 1 && len(c.level) > 1 {
+		switch {
+		case opts.Shards > 1:
+			done, err = c.runLevelSharded(workers)
+		case workers > 1 && len(c.level) > 1:
 			done, err = c.runLevelParallel(workers)
-		} else {
+		default:
 			done, err = c.runLevelSequential()
 		}
 		if done {
@@ -317,6 +368,16 @@ func Check(factory func() (*machine.Machine, error), opts Options) (*Result, err
 		}
 		if opts.Obs.Enabled() {
 			opts.Obs.StateExpansion("mc", c.res.StatesExplored, c.stats.Depth, c.stats.Transitions)
+		}
+		// The level boundary is the one point where no staging goroutine
+		// can hold hot-chunk slices, so it is the safe place to migrate
+		// cold index chunks to disk.
+		freed, serr := c.idx.maybeSpill()
+		if serr != nil {
+			return c.finish(serr)
+		}
+		if freed > 0 && opts.Obs.Enabled() {
+			opts.Obs.Spill("mc", freed, c.idx.spilledBytes, c.idx.spillFlushes)
 		}
 		c.level, c.next = c.next, c.level[:0]
 		c.levelIdx, c.nextIdx = c.nextIdx, c.levelIdx[:0]
@@ -345,6 +406,12 @@ func (c *checker) finish(err error) (*Result, error) {
 	if mem := c.memEstimate(); mem > c.stats.PeakMemBytes {
 		c.stats.PeakMemBytes = mem
 	}
+	snap := c.idx.statsSnapshot()
+	c.stats.Shards = snap.shards
+	c.stats.DeltaStates = snap.deltaStates
+	c.stats.StoredKeyBytes = snap.storedBytes
+	c.stats.LogicalKeyBytes = snap.logicalBytes
+	c.stats.SpilledBytes = snap.spilledBytes
 	if c.opts.Progress != nil {
 		c.opts.Progress(*c.stats)
 	}
@@ -354,6 +421,16 @@ func (c *checker) finish(err error) (*Result, error) {
 		rec.Count("mc.transitions", c.stats.Transitions)
 		rec.Count("mc.dedup_hits", c.stats.DedupHits)
 		rec.Count("mc.self_loops", c.stats.SelfLoops)
+		if c.opts.Shards > 1 || c.opts.HotIndexBytes > 0 {
+			// Sharded/spill-mode telemetry only: the emissions below
+			// would perturb the deterministic event streams golden-file
+			// tests pin for the classic configurations.
+			rec.Count("mc.delta_states", snap.deltaStates)
+			rec.Count("mc.stored_key_bytes", snap.storedBytes)
+			rec.Count("mc.logical_key_bytes", snap.logicalBytes)
+			rec.Count("mc.spilled_bytes", snap.spilledBytes)
+			rec.Stat("mc.shards", int64(snap.shards))
+		}
 		rec.Stat("mc.depth", int64(c.stats.Depth))
 		rec.Stat("mc.peak_frontier", int64(c.stats.PeakFrontier))
 		rec.Observe("mc.check", c.stats.Elapsed)
@@ -448,12 +525,16 @@ func (c *checker) expand(cur *machine.Machine, b *batch) {
 		b.scratch[1] = raw
 		selfLoop := bytes.Equal(raw, curKey)
 		key := raw
-		if !selfLoop && len(c.perms) > 0 {
-			key = c.minimizeKey(next, b)
+		var hash uint64
+		if !selfLoop {
+			if len(c.perms) > 0 {
+				key = c.minimizeKey(next, b)
+			}
+			hash = canon.HashBytes(key)
 		}
 		start := len(b.arena)
 		b.arena = append(b.arena, key...)
-		b.spans = append(b.spans, succSpan{start: start, end: len(b.arena), selfLoop: selfLoop})
+		b.spans = append(b.spans, succSpan{start: start, end: len(b.arena), hash: hash, selfLoop: selfLoop})
 		b.succs = append(b.succs, next)
 	}
 }
@@ -483,6 +564,11 @@ func (c *checker) merge(curIdx int, b *batch) (bool, error) {
 	if b.err != nil {
 		return true, b.err
 	}
+	// The parent's full-stored key ancestor (for delta-encoding new
+	// successors) is resolved lazily, once per batch: dedup-only batches
+	// never touch it.
+	ancGID := int64(-2)
+	var ancKey []byte
 	for p, sp := range b.spans {
 		next := b.succs[p]
 		for _, pred := range c.opts.TransPreds {
@@ -500,16 +586,25 @@ func (c *checker) merge(curIdx int, b *batch) (bool, error) {
 		}
 		c.stats.Transitions++
 		key := b.arena[sp.start:sp.end]
-		if id, hash, ok := c.idx.lookup(key); ok {
+		if gid, ok, err := c.idx.lookupHashed(key, sp.hash); err != nil {
+			return true, err
+		} else if ok {
 			c.stats.DedupHits++
-			c.nodes[curIdx].succs = append(c.nodes[curIdx].succs, id)
+			c.nodes[curIdx].succs = append(c.nodes[curIdx].succs, int(gid-c.idx.baseID))
 			continue
 		} else if c.res.StatesExplored >= c.maxStates {
 			// Budget check strictly before the push: the checker
 			// explores exactly MaxStates states, never MaxStates+1.
 			return true, c.exhaust("states")
 		} else {
-			id = c.pushHashed(next, key, hash, curIdx, p)
+			if ancGID == -2 {
+				c.ancArena = c.ancArena[:0]
+				ancGID, ancKey, err = c.idx.ancestorFor(c.idx.baseID+int64(curIdx), &c.ancArena)
+				if err != nil {
+					return true, err
+				}
+			}
+			id := c.pushHashed(next, key, sp.hash, curIdx, p, ancGID, ancKey)
 			c.nodes[curIdx].succs = append(c.nodes[curIdx].succs, id)
 			if v := c.checkState(next, id); v != nil {
 				c.res.Violation = v
@@ -526,16 +621,25 @@ func (c *checker) merge(curIdx int, b *batch) (bool, error) {
 // push interns a state under key and appends its node; the id equals the
 // node index.
 func (c *checker) push(m *machine.Machine, key []byte, parent, step int) int {
-	_, hash, _ := c.idx.lookup(key)
-	return c.pushHashed(m, key, hash, parent, step)
+	return c.pushHashed(m, key, canon.HashBytes(key), parent, step, -1, nil)
 }
 
-func (c *checker) pushHashed(m *machine.Machine, key []byte, hash uint64, parent, step int) int {
-	id := c.idx.insert(key, hash)
+func (c *checker) pushHashed(m *machine.Machine, key []byte, hash uint64, parent, step int, ancGID int64, ancKey []byte) int {
+	gid := c.idx.insert(key, hash, ancGID, ancKey)
+	c.adopt(m, parent, step)
+	return int(gid - c.idx.baseID)
+}
+
+// adopt appends the exploration bookkeeping for a state that was just
+// committed to the index: its node, frontier slot, stuck flag, and the
+// explored-state counters. The node index always equals the committed
+// gid minus baseID because ids are dense and assigned in commit order.
+func (c *checker) adopt(m *machine.Machine, parent, step int) int {
 	stuck := ""
 	if c.opts.StuckBad != nil {
 		stuck = c.opts.StuckBad(m)
 	}
+	id := len(c.nodes)
 	c.nodes = append(c.nodes, node{parent: parent, step: step, stuck: stuck})
 	c.next = append(c.next, m)
 	c.nextIdx = append(c.nextIdx, id)
@@ -581,10 +685,12 @@ func (c *checker) pollBudgets() (bool, error) {
 }
 
 // memEstimate approximates the checker's resident footprint: the visited
-// index plus per-node bookkeeping and successor edges.
+// index plus per-node bookkeeping and successor edges. Capacities, not
+// lengths: the nodes slice's grown backing array is real memory whether
+// or not it is full yet.
 func (c *checker) memEstimate() int64 {
 	const nodeOverhead = 80 // node struct + slice headers, amortized
-	return c.idx.memBytes() + int64(len(c.nodes))*nodeOverhead + c.stats.Transitions*8
+	return c.idx.memBytes() + int64(cap(c.nodes))*nodeOverhead + c.stats.Transitions*8
 }
 
 // exhaust records which budget ended the run; with Options.Partial the

@@ -1,0 +1,267 @@
+package mc
+
+import (
+	"bytes"
+	"sync"
+)
+
+// Sharded level pipeline — the deterministic-by-reduction mode.
+//
+// The classic parallel engine expands a BFS level in parallel but funnels
+// every successor through one sequential merge that hashes nothing and
+// owns everything: index probe, key copy, delta encode, commit. At scale
+// that merge is the wall. The sharded pipeline splits each level into
+// three phases so the expensive index work runs in parallel too:
+//
+//	A. Expand (parallel over Workers): clone, step, canonicalize, and
+//	   hash every successor — exactly the classic expansion, which
+//	   already computes span hashes.
+//	B. Stage (parallel, one goroutine set per shard partition): each
+//	   worker owns a disjoint set of shards and scans the level's spans
+//	   in frontier order, handling exactly the spans whose key hash
+//	   routes to its shards. A span whose bucket rules it decidable is
+//	   resolved on the spot: staged into the shard arena
+//	   (delta-encoded against its parent's pre-resolved keyframe) when
+//	   provably new, recorded as a dedup hit when byte-equal to a
+//	   resident full-stored entry. Anything that would require reading
+//	   another shard or the spill file is deferred. Staging never takes
+//	   a lock and never touches non-owned state.
+//	C. Commit (sequential): walk the level's successors in exactly the
+//	   order the sequential merge would — (frontier index, processor) —
+//	   running transition/state predicates, assigning dense ids to
+//	   staged entries, resolving deferred comparisons, and enforcing
+//	   budgets. Because ids, predicate calls, counters, and budget
+//	   stops all happen here in canonical order, every verdict, witness
+//	   schedule, and stat is byte-identical to the sequential engine:
+//	   determinism comes from this reduction, not from serializing the
+//	   index.
+//
+// Soundness of phase B's deferral rule: entries are only ever appended
+// to a bucket, and a bucket is stageable only while every resident entry
+// is locally comparable (full-stored, hot, same shard). A deferred span
+// therefore proves the bucket holds a non-comparable entry, which blocks
+// every later same-bucket span from staging too — so by the time phase C
+// resolves a deferred span, every uncommitted entry that could precede
+// it in its bucket has already been committed by phase C itself, in
+// canonical order.
+type shardOutcome = int64
+
+const (
+	outStaged   = 1 // span staged a new entry; low 48 bits = entry index
+	outHit      = 2 // span matched a resident entry; low 48 bits = entry index
+	outDeferred = 3 // span needs the coordinator's full lookup
+)
+
+// runLevelSharded expands and commits the current level through the
+// three-phase pipeline.
+func (c *checker) runLevelSharded(workers int) (bool, error) {
+	n := len(c.level)
+	if workers < 1 {
+		workers = 1
+	}
+
+	// Pre-resolve each frontier state's delta ancestor (gid + full key
+	// bytes) on the coordinator: stagers must not read other shards, so
+	// anything cross-shard is gathered here first. Hot ancestors alias
+	// arena chunks — safe during staging because chunks are append-only
+	// and never move; spilled ancestors are copied into a stable arena.
+	if cap(c.ancGIDs) < n {
+		c.ancGIDs = make([]int64, n)
+		c.ancKeys = make([][]byte, n)
+	}
+	ancGIDs, ancKeys := c.ancGIDs[:n], c.ancKeys[:n]
+	c.ancArena = c.ancArena[:0]
+	for i, idx := range c.levelIdx {
+		gid, key, err := c.idx.ancestorFor(c.idx.baseID+int64(idx), &c.ancArena)
+		if err != nil {
+			return true, err
+		}
+		ancGIDs[i], ancKeys[i] = gid, key
+	}
+
+	// Phase A: parallel expansion into per-state batches.
+	for len(c.parBatches) < n {
+		c.parBatches = append(c.parBatches, batch{})
+	}
+	batches := c.parBatches[:n]
+	expandWorkers := min(workers, n)
+	chunk := (n + expandWorkers - 1) / expandWorkers
+	var wg sync.WaitGroup
+	for w := 0; w < expandWorkers; w++ {
+		lo, hi := w*chunk, min((w+1)*chunk, n)
+		if lo >= hi {
+			continue
+		}
+		wg.Add(1)
+		go func(lo, hi int) {
+			defer wg.Done()
+			for i := lo; i < hi; i++ {
+				batches[i].m = c.level[i]
+				c.expand(c.level[i], &batches[i])
+			}
+		}(lo, hi)
+	}
+	wg.Wait()
+
+	// Phase B: parallel staging, shards partitioned across workers by
+	// shard-index modulo. Outcomes land in a flat (state, proc) table;
+	// disjoint indices per span owner, so no synchronization beyond the
+	// WaitGroup barrier.
+	if cap(c.outcomes) < n*c.nProcs {
+		c.outcomes = make([]shardOutcome, n*c.nProcs)
+	}
+	outcomes := c.outcomes[:n*c.nProcs]
+	for i := range outcomes {
+		outcomes[i] = 0
+	}
+	stageWorkers := min(workers, len(c.idx.shards))
+	for w := 0; w < stageWorkers; w++ {
+		wg.Add(1)
+		go func(w int) {
+			defer wg.Done()
+			c.stagePartition(w, stageWorkers, batches, ancGIDs, ancKeys, outcomes)
+		}(w)
+	}
+	wg.Wait()
+
+	// Phase C: sequential commit in canonical frontier order.
+	return c.commitLevel(batches, ancGIDs, ancKeys, outcomes)
+}
+
+// stagePartition is one phase-B worker: it scans every span of the level
+// in frontier order and handles those owned by its shard partition.
+func (c *checker) stagePartition(w, stride int, batches []batch, ancGIDs []int64, ancKeys [][]byte, outcomes []shardOutcome) {
+	t := c.idx
+	for i := range batches {
+		b := &batches[i]
+		if b.err != nil {
+			continue // the commit pass surfaces the error
+		}
+		base := i * c.nProcs
+		for p, sp := range b.spans {
+			if sp.selfLoop {
+				continue
+			}
+			si := t.shardOf(sp.hash)
+			if si%stride != w {
+				continue
+			}
+			sh := &t.shards[si]
+			key := b.arena[sp.start:sp.end]
+			var out shardOutcome
+			comparable := true
+			for _, ei := range sh.buckets[sp.hash] {
+				e := &sh.entries[ei]
+				if e.anc >= 0 || e.off < sh.bound {
+					// Delta-stored (ancestor may live on another shard)
+					// or spilled: not locally comparable.
+					comparable = false
+					break
+				}
+				pos := int(e.off & chunkMask)
+				raw := sh.chunks[e.off>>chunkShift][pos : pos+int(e.n)]
+				if bytes.Equal(raw, key) {
+					out = outHit<<48 | ei
+					break
+				}
+			}
+			if out == 0 {
+				if comparable {
+					ei := sh.stage(key, sp.hash, ancGIDs[i], ancKeys[i])
+					out = outStaged<<48 | ei
+				} else {
+					out = outDeferred << 48
+				}
+			}
+			outcomes[base+p] = out
+		}
+	}
+}
+
+// commitLevel is phase C: the sequential pass that makes the pipeline's
+// results identical to the sequential engine. It mirrors merge()
+// decision-for-decision; only the index mechanics differ (staged entries
+// just need an id, hits are pre-verified, deferred spans fall back to
+// the full coordinator lookup).
+func (c *checker) commitLevel(batches []batch, ancGIDs []int64, ancKeys [][]byte, outcomes []shardOutcome) (bool, error) {
+	for i := range batches {
+		b := &batches[i]
+		if b.err != nil {
+			return true, b.err
+		}
+		curIdx := c.levelIdx[i]
+		base := i * c.nProcs
+		for p, sp := range b.spans {
+			next := b.succs[p]
+			for _, pred := range c.opts.TransPreds {
+				if reason := pred(b.m, next, p); reason != "" {
+					c.res.Violation = &Violation{
+						Reason:   reason,
+						Schedule: append(c.scheduleTo(curIdx), p),
+					}
+					return true, nil
+				}
+			}
+			if sp.selfLoop {
+				c.stats.SelfLoops++
+				continue
+			}
+			c.stats.Transitions++
+			key := b.arena[sp.start:sp.end]
+			si := c.idx.shardOf(sp.hash)
+			out := outcomes[base+p]
+			var gid int64
+			isNew := false
+			switch out >> 48 {
+			case outHit:
+				_, e := c.idx.entryRef(si, out&(1<<48-1))
+				gid = e.gid
+				if gid < 0 {
+					panic("mc: sharded commit matched an uncommitted entry")
+				}
+			case outStaged:
+				if c.res.StatesExplored >= c.maxStates {
+					return true, c.exhaust("states")
+				}
+				gid = c.idx.commitStaged(si, out&(1<<48-1))
+				isNew = true
+			case outDeferred:
+				g, ok, err := c.idx.lookupHashed(key, sp.hash)
+				if err != nil {
+					return true, err
+				}
+				if ok {
+					gid = g
+					if gid < 0 {
+						panic("mc: sharded commit matched an uncommitted entry")
+					}
+				} else {
+					if c.res.StatesExplored >= c.maxStates {
+						return true, c.exhaust("states")
+					}
+					gid = c.idx.insert(key, sp.hash, ancGIDs[i], ancKeys[i])
+					isNew = true
+				}
+			default:
+				panic("mc: sharded commit found an unstaged successor span")
+			}
+			if !isNew {
+				c.stats.DedupHits++
+				c.nodes[curIdx].succs = append(c.nodes[curIdx].succs, int(gid-c.idx.baseID))
+				continue
+			}
+			id := c.adopt(next, curIdx, p)
+			c.nodes[curIdx].succs = append(c.nodes[curIdx].succs, id)
+			if v := c.checkState(next, id); v != nil {
+				c.res.Violation = v
+				return true, nil
+			}
+			if stop, err := c.pollBudgets(); stop {
+				return true, err
+			}
+		}
+		c.level[i] = nil
+		batches[i].m = nil
+	}
+	return false, nil
+}

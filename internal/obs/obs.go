@@ -60,6 +60,12 @@ const (
 	KindVerdict
 	// KindStat reports a named point statistic: A=value.
 	KindStat
+	// KindSpill reports one visited-index spill flush: Name is the
+	// engine, A=bytes moved to disk by this flush, B=total bytes on
+	// disk after it, C=flush ordinal. Spill events are deterministic:
+	// they depend only on configured byte budgets and the explored
+	// state space, never on wall-clock time.
+	KindSpill
 )
 
 var kindNames = map[Kind]string{
@@ -71,6 +77,7 @@ var kindNames = map[Kind]string{
 	KindFault:          "fault",
 	KindVerdict:        "verdict",
 	KindStat:           "stat",
+	KindSpill:          "spill",
 }
 
 // String implements fmt.Stringer.
@@ -254,6 +261,16 @@ func (r *Recorder) Stat(name string, v int64) {
 		return
 	}
 	r.Emit(Event{Kind: KindStat, Name: name, A: v})
+}
+
+// Spill emits one visited-index spill flush for the named engine:
+// bytes moved to disk by this flush, the resulting on-disk total, and
+// the flush ordinal.
+func (r *Recorder) Spill(engine string, bytes, total, flush int64) {
+	if r == nil {
+		return
+	}
+	r.Emit(Event{Kind: KindSpill, Name: engine, A: bytes, B: total, C: flush})
 }
 
 // Count adds delta to the named monotonic counter.

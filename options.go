@@ -78,6 +78,19 @@ type Options struct {
 	// Workers > 1 parallelizes refinement collection and model-checker
 	// frontier expansion; results are identical to sequential runs.
 	Workers int
+	// Shards > 1 shards the model checker's visited-state index by key
+	// hash and runs each BFS level as a staged pipeline (parallel
+	// expansion and staging, canonical-order commit); results stay
+	// identical to sequential runs. Use for explorations beyond ~10⁷
+	// states, typically together with Workers.
+	Shards int
+	// HotIndexBytes > 0 caps the checker's in-memory key storage; colder
+	// key bytes spill to temp files under SpillDir and are read back
+	// transparently. 0 keeps everything resident.
+	HotIndexBytes int64
+	// SpillDir hosts the checker's spill files (os.TempDir() when
+	// empty); the files are removed when the check returns.
+	SpillDir string
 	// Seed drives the seeded randomness consumed by RunFair.
 	Seed int64
 	// Symmetry dedups model-checker states modulo the system's
@@ -111,6 +124,23 @@ func WithBudget(maxStates int, maxDuration time.Duration, maxMemBytes int64) Opt
 // WithWorkers parallelizes deterministic hot loops over n goroutines.
 func WithWorkers(n int) Option { return func(o *Options) { o.Workers = n } }
 
+// WithShards splits the model checker's visited-state index into n
+// hash-addressed shards (rounded up to a power of two, capped at 256)
+// staged in parallel per BFS level; verdicts remain identical to the
+// sequential engine.
+func WithShards(n int) Option { return func(o *Options) { o.Shards = n } }
+
+// WithSpill caps the model checker's in-memory key storage at hotBytes
+// and spills colder key bytes to temp files under dir ("" uses the
+// system temp directory). Exploration verdicts are unaffected; only
+// residency changes.
+func WithSpill(hotBytes int64, dir string) Option {
+	return func(o *Options) {
+		o.HotIndexBytes = hotBytes
+		o.SpillDir = dir
+	}
+}
+
 // WithSeed sets the seed for entry points that consume randomness.
 func WithSeed(seed int64) Option { return func(o *Options) { o.Seed = seed } }
 
@@ -135,6 +165,9 @@ func (o Options) mcOptions() mc.Options {
 		MaxDuration:    o.MaxDuration,
 		MaxMemBytes:    o.MaxMemBytes,
 		Workers:        o.Workers,
+		Shards:         o.Shards,
+		HotIndexBytes:  o.HotIndexBytes,
+		SpillDir:       o.SpillDir,
 		SymmetryReduce: o.Symmetry,
 		Obs:            o.Obs,
 		Ctx:            o.Ctx,

@@ -213,6 +213,39 @@ func TestCheckDiningOptsBudgetAndSymmetry(t *testing.T) {
 	}
 }
 
+// TestCheckOptsShardedSpill: the sharded index and spill tier reach the
+// checker through the facade options and leave the verdict, counters,
+// and witness identical to the plain engine.
+func TestCheckOptsShardedSpill(t *testing.T) {
+	table, err := simsym.DiningFlipped(4)
+	if err != nil {
+		t.Fatal(err)
+	}
+	prog, err := simsym.DiningProgram("left", "right", 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	plain, err := simsym.CheckDiningOpts(table, prog, simsym.WithMaxStates(100_000))
+	if err != nil {
+		t.Fatal(err)
+	}
+	sharded, err := simsym.CheckDiningOpts(table, prog,
+		simsym.WithMaxStates(100_000),
+		simsym.WithWorkers(4),
+		simsym.WithShards(4),
+		simsym.WithSpill(1, t.TempDir()))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if plain.StatesExplored != sharded.StatesExplored || plain.Complete != sharded.Complete {
+		t.Errorf("sharded+spill facade run diverged: plain %d/%v, sharded %d/%v",
+			plain.StatesExplored, plain.Complete, sharded.StatesExplored, sharded.Complete)
+	}
+	if sharded.Deadlocked != nil || sharded.ExclusionViolated != nil {
+		t.Error("flipped table must stay safe under the sharded engine")
+	}
+}
+
 // TestRunFair: seed determinism and observer capture.
 func TestRunFair(t *testing.T) {
 	sys := simsym.Fig2()

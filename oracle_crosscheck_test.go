@@ -148,6 +148,138 @@ func TestOracleCrosscheckDiningTables(t *testing.T) {
 	}
 }
 
+// TestOracleCrosscheckShardedVerdicts drives the sharded deterministic-
+// by-reduction pipeline (and its spill-forced variant) against the
+// sequential engine on every topology the oracle suite covers: the
+// reports must match field for field — verdict, witness schedule, state
+// counts, depth, dedup counters. Programs are seeded-random so the
+// comparison sweeps arbitrary verdict shapes, not just the curated ones.
+func TestOracleCrosscheckShardedVerdicts(t *testing.T) {
+	sameCheck := func(t *testing.T, a, b *simsym.CheckReport, what string) {
+		t.Helper()
+		if a.Safe != b.Safe || a.Complete != b.Complete || a.Exhausted != b.Exhausted ||
+			a.StatesExplored != b.StatesExplored || a.Violation != b.Violation ||
+			fmt.Sprint(a.Schedule) != fmt.Sprint(b.Schedule) {
+			t.Fatalf("%s: reports differ:\n%+v\n%+v", what, a, b)
+		}
+		if a.Stats.Transitions != b.Stats.Transitions || a.Stats.DedupHits != b.Stats.DedupHits ||
+			a.Stats.SelfLoops != b.Stats.SelfLoops || a.Stats.Depth != b.Stats.Depth ||
+			a.Stats.PeakFrontier != b.Stats.PeakFrontier {
+			t.Fatalf("%s: stats differ:\n%+v\n%+v", what, a.Stats, b.Stats)
+		}
+	}
+	shardOpts := func(spill bool, dir string) []simsym.Option {
+		opts := []simsym.Option{simsym.WithWorkers(4), simsym.WithShards(4), simsym.WithMaxStates(20_000)}
+		if spill {
+			opts = append(opts, simsym.WithSpill(1, dir))
+		}
+		return opts
+	}
+
+	figures := []struct {
+		name  string
+		sys   *system.System
+		instr system.InstrSet
+	}{
+		{"Fig1/S", system.Fig1(), system.InstrS},
+		{"Fig1/L", system.Fig1(), system.InstrL},
+		{"Fig2/Q", system.Fig2(), system.InstrQ},
+		{"Fig2/S", system.Fig2(), system.InstrS},
+		{"Fig3/S", system.Fig3(), system.InstrS},
+		{"Fig3/Q", system.Fig3(), system.InstrQ},
+	}
+	for i, tc := range figures {
+		tc := tc
+		seed := int64(300 + i)
+		t.Run(tc.name, func(t *testing.T) {
+			rng := rand.New(rand.NewSource(seed))
+			for trial := 0; trial < 3; trial++ {
+				prog, err := machine.RandomProgram(rng, tc.sys.Names, tc.instr, 2+rng.Intn(9))
+				if err != nil {
+					t.Fatal(err)
+				}
+				seq, err := simsym.CheckOpts(tc.sys, tc.instr, prog, simsym.WithMaxStates(20_000))
+				if err != nil {
+					t.Fatal(err)
+				}
+				sharded, err := simsym.CheckOpts(tc.sys, tc.instr, prog, shardOpts(false, "")...)
+				if err != nil {
+					t.Fatal(err)
+				}
+				sameCheck(t, seq, sharded, fmt.Sprintf("trial %d sharded", trial))
+				spilled, err := simsym.CheckOpts(tc.sys, tc.instr, prog, shardOpts(true, t.TempDir())...)
+				if err != nil {
+					t.Fatal(err)
+				}
+				sameCheck(t, seq, spilled, fmt.Sprintf("trial %d sharded+spill", trial))
+			}
+		})
+	}
+
+	// Dining tables: exclusion + deadlock verdicts through the dining
+	// facade, same three-way comparison.
+	forks, err := dining.Program("left", "right", 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	dp5, err := system.Dining(5)
+	if err != nil {
+		t.Fatal(err)
+	}
+	dp6, err := system.DiningFlipped(6)
+	if err != nil {
+		t.Fatal(err)
+	}
+	oriented, err := dining.OrientedTable(5, dining.SingleFlipOrientation(5))
+	if err != nil {
+		t.Fatal(err)
+	}
+	cm, err := dining.ChandyMisraProgram(1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	tables := []struct {
+		name string
+		sys  *system.System
+		prog *machine.Program
+	}{
+		{"DP5", dp5, forks},
+		{"DP6-flipped", dp6, forks},
+		{"Oriented5-ChandyMisra", oriented, cm},
+	}
+	for _, tc := range tables {
+		tc := tc
+		t.Run(tc.name, func(t *testing.T) {
+			sameDining := func(a, b *simsym.DiningReport, what string) {
+				t.Helper()
+				if a.StatesExplored != b.StatesExplored || a.Complete != b.Complete ||
+					(a.ExclusionViolated == nil) != (b.ExclusionViolated == nil) ||
+					(a.Deadlocked == nil) != (b.Deadlocked == nil) {
+					t.Fatalf("%s: dining reports differ:\n%+v\n%+v", what, a, b)
+				}
+				if fmt.Sprint(a.Deadlocked) != fmt.Sprint(b.Deadlocked) ||
+					fmt.Sprint(a.ExclusionViolated) != fmt.Sprint(b.ExclusionViolated) {
+					t.Fatalf("%s: witness schedules differ:\n%+v\n%+v", what, a, b)
+				}
+			}
+			seq, err := simsym.CheckDiningOpts(tc.sys, tc.prog, simsym.WithMaxStates(20_000))
+			if err != nil {
+				t.Fatal(err)
+			}
+			sharded, err := simsym.CheckDiningOpts(tc.sys, tc.prog, shardOpts(false, "")...)
+			if err != nil {
+				t.Fatal(err)
+			}
+			sameDining(seq, sharded, "sharded")
+			spilled, err := simsym.CheckDiningOpts(tc.sys, tc.prog, shardOpts(true, t.TempDir())...)
+			if err != nil {
+				t.Fatal(err)
+			}
+			sameDining(seq, spilled, "sharded+spill")
+		})
+	}
+}
+
 // TestOracleCrosscheckVerdicts re-establishes the paper's headline model
 // checker verdicts and selection winners on the slot-frame VM: DP
 // deadlocks under round-robin, DP' closes deadlock- and violation-free,
