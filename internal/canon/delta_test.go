@@ -20,11 +20,11 @@ func buildKey(components []string) []byte {
 func TestKeyDeltaRoundTrip(t *testing.T) {
 	base := buildKey([]string{"pc=0", "pc=1,halted", "x=taken", "", "lock:2"})
 	cases := [][]string{
-		{"pc=0", "pc=1,halted", "x=taken", "", "lock:2"},       // identical
-		{"pc=7", "pc=1,halted", "x=taken", "", "lock:2"},       // first changed
-		{"pc=0", "pc=1,halted", "x=taken", "", "lock:0"},       // last changed
-		{"pc=0", "pc=2", "x=free", "", "lock:2"},               // middle pair
-		{"a", "b", "c", "d", "e"},                              // all changed
+		{"pc=0", "pc=1,halted", "x=taken", "", "lock:2"},         // identical
+		{"pc=7", "pc=1,halted", "x=taken", "", "lock:2"},         // first changed
+		{"pc=0", "pc=1,halted", "x=taken", "", "lock:0"},         // last changed
+		{"pc=0", "pc=2", "x=free", "", "lock:2"},                 // middle pair
+		{"a", "b", "c", "d", "e"},                                // all changed
 		{"pc=0", "pc=1,halted", "x=taken", "nonempty", "lock:2"}, // empty -> set
 	}
 	for i, comps := range cases {
@@ -92,10 +92,10 @@ func TestKeyDeltaIncomparable(t *testing.T) {
 func TestApplyKeyDeltaRejectsGarbage(t *testing.T) {
 	base := buildKey([]string{"a", "b"})
 	for _, bad := range [][]byte{
-		{},                 // missing count
-		{2, 0},             // count 2 but one truncated patch
-		{1, 9, 1, 'x'},     // index 9 out of range
-		{1, 0, 0xff},       // malformed component
+		{},             // missing count
+		{2, 0},         // count 2 but one truncated patch
+		{1, 9, 1, 'x'}, // index 9 out of range
+		{1, 0, 0xff},   // malformed component
 		append(append([]byte{1, 0}, AppendLenPrefixed(nil, "z")...), 0x7), // trailing garbage
 	} {
 		if _, err := ApplyKeyDelta(nil, base, bad); err == nil {

@@ -129,22 +129,64 @@ func BenchmarkStepJumpIf(b *testing.B) {
 	}
 }
 
-// BenchmarkFingerprint measures the incremental whole-state fingerprint
-// after single steps (the model checker's hot path).
+// BenchmarkFingerprint measures the whole-state encode path in its
+// three regimes:
+//
+//	warm — every window cached: AppendStateKey is pure arena copies and
+//	       MUST report 0 allocs/op (the tentpole's contract; the gate in
+//	       scripts/benchgate.sh enforces it).
+//	step — the model checker's hot path: one step invalidates ≤1 frame
+//	       and ≤2 variables, the key re-encodes only those.
+//	string — the legacy Fingerprint() string materialization, kept for
+//	       scale (this is what the arena replaced).
 func BenchmarkFingerprint(b *testing.B) {
-	m := benchMachine(b, system.InstrQ, func(bl *Builder) {
-		bl.Label("loop")
-		bl.Post("n", "init")
-		bl.Peek("n", "x")
-		bl.Jump("loop")
-	})
-	b.ReportAllocs()
-	for i := 0; i < b.N; i++ {
-		if err := m.Step(i % 3); err != nil {
-			b.Fatal(err)
-		}
-		_ = m.Fingerprint()
+	setup := func() *Machine {
+		return benchMachine(b, system.InstrQ, func(bl *Builder) {
+			bl.Label("loop")
+			bl.Post("n", "init")
+			bl.Peek("n", "x")
+			bl.Jump("loop")
+		})
 	}
+	b.Run("warm", func(b *testing.B) {
+		m := setup()
+		for i := 0; i < 9; i++ {
+			if err := m.Step(i % 3); err != nil {
+				b.Fatal(err)
+			}
+		}
+		m.PrimeFingerprints()
+		buf := make([]byte, 0, 4*len(m.AppendStateKey(nil, nil, nil)))
+		b.ReportAllocs()
+		b.ResetTimer()
+		for i := 0; i < b.N; i++ {
+			buf = m.AppendStateKey(buf[:0], nil, nil)
+		}
+	})
+	b.Run("step", func(b *testing.B) {
+		m := setup()
+		m.PrimeFingerprints()
+		buf := make([]byte, 0, 256)
+		b.ReportAllocs()
+		b.ResetTimer()
+		for i := 0; i < b.N; i++ {
+			if err := m.Step(i % 3); err != nil {
+				b.Fatal(err)
+			}
+			buf = m.AppendStateKey(buf[:0], nil, nil)
+		}
+	})
+	b.Run("string", func(b *testing.B) {
+		m := setup()
+		b.ReportAllocs()
+		b.ResetTimer()
+		for i := 0; i < b.N; i++ {
+			if err := m.Step(i % 3); err != nil {
+				b.Fatal(err)
+			}
+			_ = m.Fingerprint()
+		}
+	})
 }
 
 // BenchmarkClone measures snapshot cost (copy-on-write sharing).

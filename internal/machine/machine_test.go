@@ -315,7 +315,7 @@ func TestHaltedStepPreservesFingerprintCache(t *testing.T) {
 		t.Fatal(err)
 	}
 	fp := m.ProcFingerprint(0)
-	if m.procFP[0] == "" {
+	if !m.procCached(0) {
 		t.Fatal("fingerprint should be cached after ProcFingerprint")
 	}
 	stepsBefore := m.Steps()
@@ -325,8 +325,11 @@ func TestHaltedStepPreservesFingerprintCache(t *testing.T) {
 	if m.Steps() != stepsBefore+1 {
 		t.Error("halted step must still count as a schedule step")
 	}
-	if m.procFP[0] != fp {
-		t.Errorf("halted step invalidated the cached fingerprint: %q -> %q", fp, m.procFP[0])
+	if !m.procCached(0) {
+		t.Error("halted step invalidated the cached fingerprint window")
+	}
+	if got := m.ProcFingerprint(0); got != fp {
+		t.Errorf("halted step changed the cached fingerprint: %q -> %q", fp, got)
 	}
 }
 

@@ -1,0 +1,150 @@
+package machine_test
+
+// Differential fuzzing of the arena-backed AppendStateKey against the
+// pre-compilation oracle encodings. The harness lives in an external
+// test package so it can seed from every shipped topology, including the
+// oriented tables (internal/dining imports machine, so an internal test
+// file could not import it back).
+
+import (
+	"bytes"
+	"math/rand"
+	"testing"
+
+	"simsym/internal/dining"
+	"simsym/internal/machine"
+	"simsym/internal/system"
+)
+
+// fuzzTopologies returns the shipped topologies the harness seeds from;
+// sel indexes into them modulo the count.
+func fuzzTopology(t testing.TB, sel uint8) *system.System {
+	switch sel % 6 {
+	case 0:
+		return system.Fig1()
+	case 1:
+		return system.Fig2()
+	case 2:
+		return system.Fig3()
+	case 3:
+		s, err := system.Dining(5)
+		if err != nil {
+			t.Fatal(err)
+		}
+		return s
+	case 4:
+		s, err := system.DiningFlipped(4)
+		if err != nil {
+			t.Fatal(err)
+		}
+		return s
+	default:
+		s, err := dining.OrientedTable(4, dining.SingleFlipOrientation(4))
+		if err != nil {
+			t.Fatal(err)
+		}
+		return s
+	}
+}
+
+// FuzzStateKeyOracle differentially fuzzes the compiled state-key encode
+// path against the oracle encodings, over random programs and schedules
+// on every shipped topology:
+//
+//  1. Equality classes: AppendStateKey keys of two machines are equal
+//     exactly when their FingerprintOracle strings are equal — compared
+//     against replays of schedule prefixes, where the replay never
+//     primes its arena (cold encode vs. warm arena differential).
+//  2. Relabelings: AppendStateKey with a permutation's procAt/varAt must
+//     produce byte-for-byte the plain key of an explicitly permuted
+//     machine — the same program run on system.Apply(s, perm) under the
+//     correspondingly permuted schedule.
+func FuzzStateKeyOracle(f *testing.F) {
+	for topo := uint8(0); topo < 6; topo++ {
+		for is := uint8(0); is < 3; is++ {
+			f.Add(topo, is, int64(topo)*31+int64(is), []byte{0, 1, 2, 0, 1, 2, 1, 0, 2, 2, 0, 1})
+		}
+	}
+	f.Fuzz(func(t *testing.T, topo, instrSel uint8, seed int64, schedule []byte) {
+		if len(schedule) > 64 {
+			schedule = schedule[:64]
+		}
+		s := fuzzTopology(t, topo)
+		instr := []system.InstrSet{system.InstrS, system.InstrL, system.InstrQ}[int(instrSel)%3]
+		rng := rand.New(rand.NewSource(seed))
+		prog, err := machine.RandomProgram(rng, s.Names, instr, 1+rng.Intn(8))
+		if err != nil {
+			t.Skip("generator rejected the shape")
+		}
+		perm := system.Permutation{ProcPerm: rng.Perm(s.NumProcs()), VarPerm: rng.Perm(s.NumVars())}
+		s2, err := system.Apply(s, perm)
+		if err != nil {
+			t.Fatal(err)
+		}
+
+		// run executes the schedule (proc indices mod NumProcs, remapped
+		// through mapProc when set) and reports how far it got; prime
+		// re-encodes every window into the arena mid-run, so later steps
+		// exercise the invalidation and re-encode paths.
+		run := func(sys *system.System, n int, mapProc []int, prime bool) (*machine.Machine, int) {
+			m, err := machine.New(sys, instr, prog)
+			if err != nil {
+				t.Fatal(err)
+			}
+			for i := 0; i < n; i++ {
+				p := int(schedule[i]) % sys.NumProcs()
+				if mapProc != nil {
+					p = mapProc[p]
+				}
+				if _, err := m.StepOrSkip(p); err != nil {
+					return m, i
+				}
+				if prime && i == n/2 {
+					m.PrimeFingerprints()
+				}
+			}
+			return m, n
+		}
+
+		m, steps := run(s, len(schedule), nil, true)
+		mKey := m.AppendStateKey(nil, nil, nil)
+		mOracle := m.FingerprintOracle()
+
+		// 1. Key equality ⇔ oracle equality against prefix replays. The
+		// full-length replay (cold arena) must land in m's own class.
+		for _, cut := range []int{steps, steps / 2, 0} {
+			o, osteps := run(s, cut, nil, false)
+			if osteps != cut {
+				t.Fatalf("replay of %d steps stopped at %d; execution is not deterministic", cut, osteps)
+			}
+			keyEq := bytes.Equal(mKey, o.AppendStateKey(nil, nil, nil))
+			oracleEq := mOracle == o.FingerprintOracle()
+			if keyEq != oracleEq {
+				t.Fatalf("cut %d/%d: key equality %v but oracle equality %v\nkey    %q\noracle %q",
+					cut, steps, keyEq, oracleEq, mKey, mOracle)
+			}
+			if cut == steps && !keyEq {
+				t.Fatalf("full cold replay diverged from the warm arena key")
+			}
+		}
+
+		// 2. Permuted relabeling vs. the explicitly permuted machine.
+		m2, steps2 := run(s2, steps, perm.ProcPerm, false)
+		if steps2 != steps {
+			t.Fatalf("permuted machine stopped at %d/%d; permutation broke execution symmetry", steps2, steps)
+		}
+		invP := make([]int, len(perm.ProcPerm))
+		for p, ip := range perm.ProcPerm {
+			invP[ip] = p
+		}
+		invV := make([]int, len(perm.VarPerm))
+		for v, iv := range perm.VarPerm {
+			invV[iv] = v
+		}
+		relabeled := m.AppendStateKey(nil, invP, invV)
+		plain := m2.AppendStateKey(nil, nil, nil)
+		if !bytes.Equal(relabeled, plain) {
+			t.Fatalf("relabeled key of m != plain key of the permuted machine\nrelabeled %q\nplain     %q", relabeled, plain)
+		}
+	})
+}

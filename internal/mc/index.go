@@ -67,7 +67,7 @@ type stateIndex struct {
 // through its owner: the staging goroutine during the parallel phase,
 // the coordinator otherwise.
 type indexShard struct {
-	buckets map[uint64][]int64 // full key hash -> shard-local entry indices
+	buckets bucketTable // full key hash -> shard-local entry indices
 	entries []entry
 	chunks  [][]byte // chunk i covers logical offsets [i<<chunkShift, ...)
 	used    int64    // logical end offset of written bytes
@@ -76,8 +76,7 @@ type indexShard struct {
 	scratch []byte // delta-encode buffer, reused across stages
 
 	// Exact capacity accounting, maintained incrementally on append.
-	bucketCapBytes int64 // Σ cap of bucket slices × 8
-	padBytes       int64 // alignment waste inside chunks
+	padBytes int64 // alignment waste inside chunks
 
 	// Delta statistics (owner-only writes, summed on snapshot).
 	deltaStates  int64
@@ -99,13 +98,11 @@ const (
 	chunkSize  = 1 << chunkShift
 	chunkMask  = chunkSize - 1
 
-	// entrySize/mapEntryOverhead feed the memory estimate: the entry
-	// struct itself and the amortized per-key cost of a Go
-	// map[uint64][]int64 header (key + slice header + tophash/overflow
-	// bookkeeping), excluding the bucket slices' backing arrays, which
-	// are tracked exactly in bucketCapBytes.
-	entrySize        = 32
-	mapEntryOverhead = 48
+	// entrySize feeds the memory estimate: the entry struct itself. The
+	// bucket directory's footprint is exact — bucketSlotSize bytes per
+	// allocated open-addressing slot.
+	entrySize      = 32
+	bucketSlotSize = 16 // one uint64 hash + one int64 entry index
 
 	// A delta is stored only while it is meaningfully smaller than the
 	// full key; otherwise the state becomes a new full-stored keyframe.
@@ -137,6 +134,71 @@ func bitLen(x int) int {
 	return n
 }
 
+// bucketTable is an open-addressed multimap from full key hashes to
+// shard-local entry indices — the shard's bucket directory. It replaces
+// a map[uint64][]int64 on the probe-per-candidate hot path: a lookup is
+// one masked index plus a short linear scan (load never exceeds 3/4),
+// with no hashing of the already-hashed key and no per-key slice
+// headers. Entries sharing a full 64-bit hash (collisions, effectively
+// nonexistent) occupy separate slots along the probe chain; exact key
+// comparison disambiguates them, so probe order never affects verdicts.
+type bucketTable struct {
+	hashes []uint64
+	eis    []int64 // -1 marks an empty slot
+	mask   uint64
+	n      int
+}
+
+// add inserts an entry index under hash, growing at 3/4 load.
+func (bt *bucketTable) add(hash uint64, ei int64) {
+	if bt.n*4 >= len(bt.eis)*3 {
+		bt.grow()
+	}
+	sl := hash & bt.mask
+	for bt.eis[sl] >= 0 {
+		sl = (sl + 1) & bt.mask
+	}
+	bt.hashes[sl], bt.eis[sl] = hash, ei
+	bt.n++
+}
+
+// has reports whether any entry is bucketed under hash.
+func (bt *bucketTable) has(hash uint64) bool {
+	if bt.eis == nil {
+		return false
+	}
+	for sl := hash & bt.mask; bt.eis[sl] >= 0; sl = (sl + 1) & bt.mask {
+		if bt.hashes[sl] == hash {
+			return true
+		}
+	}
+	return false
+}
+
+func (bt *bucketTable) grow() {
+	oldH, oldE := bt.hashes, bt.eis
+	size := 1024
+	if len(oldE) > 0 {
+		size = len(oldE) * 2
+	}
+	bt.hashes = make([]uint64, size)
+	bt.eis = make([]int64, size)
+	for i := range bt.eis {
+		bt.eis[i] = -1
+	}
+	bt.mask = uint64(size - 1)
+	for i, ei := range oldE {
+		if ei < 0 {
+			continue
+		}
+		sl := oldH[i] & bt.mask
+		for bt.eis[sl] >= 0 {
+			sl = (sl + 1) & bt.mask
+		}
+		bt.hashes[sl], bt.eis[sl] = oldH[i], ei
+	}
+}
+
 // shardOf routes a key hash to its owning shard.
 func (t *stateIndex) shardOf(hash uint64) int {
 	if len(t.shards) == 1 {
@@ -160,8 +222,15 @@ func (t *stateIndex) entryAt(gid int64) (*indexShard, *entry) {
 // delta-stored or spilled entries may touch any shard.
 func (t *stateIndex) lookupHashed(key []byte, hash uint64) (gid int64, ok bool, err error) {
 	sh := &t.shards[t.shardOf(hash)]
-	for _, ei := range sh.buckets[hash] {
-		e := &sh.entries[ei]
+	bt := &sh.buckets
+	if bt.eis == nil {
+		return 0, false, nil
+	}
+	for sl := hash & bt.mask; bt.eis[sl] >= 0; sl = (sl + 1) & bt.mask {
+		if bt.hashes[sl] != hash {
+			continue
+		}
+		e := &sh.entries[bt.eis[sl]]
 		eq, err := t.entryEqual(sh, e, key)
 		if err != nil {
 			return 0, false, err
@@ -232,7 +301,7 @@ func (t *stateIndex) insert(key []byte, hash uint64, ancGID int64, ancKey []byte
 // what keeps the staging phase free of cross-shard reads. Owner-only.
 func (t *stateIndex) stageNew(si int, key []byte, hash uint64, ancGID int64, ancKey []byte) (ei int64, staged bool) {
 	sh := &t.shards[si]
-	if len(sh.buckets[hash]) > 0 {
+	if sh.buckets.has(hash) {
 		return 0, false
 	}
 	return sh.stage(key, hash, ancGID, ancKey), true
@@ -277,14 +346,7 @@ func (sh *indexShard) stage(key []byte, hash uint64, ancGID int64, ancKey []byte
 	sh.logicalBytes += int64(len(key))
 	ei := int64(len(sh.entries))
 	sh.entries = append(sh.entries, entry{gid: -1, anc: anc, off: off, n: int32(len(stored))})
-	if sh.buckets == nil {
-		sh.buckets = make(map[uint64][]int64)
-	}
-	bkt := sh.buckets[hash]
-	oldCap := cap(bkt)
-	bkt = append(bkt, ei)
-	sh.buckets[hash] = bkt
-	sh.bucketCapBytes += int64(cap(bkt)-oldCap) * 8
+	sh.buckets.add(hash, ei)
 	return ei
 }
 
@@ -375,10 +437,21 @@ func (sh *indexShard) hotBytes() int64 {
 	return total
 }
 
+// spillWriteHook, when non-nil, intercepts each chunk write to the spill
+// tier and can force it to fail — a test seam for fault-injecting the
+// write path (disk full, revoked permissions) without a real bad disk.
+var spillWriteHook func(shard int) error
+
 // maybeSpill flushes finalized cold chunks FIFO to the per-shard spill
 // files until the hot arenas fit under the cap again. Coordinator-only,
 // called between BFS levels so no staging goroutine holds hot slices.
 // Returns the bytes moved to disk by this call.
+//
+// Any mid-spill failure releases the whole spill tier before returning:
+// the index is unusable for further lookups once a chunk write is lost,
+// so holding per-shard file descriptors or the on-disk directory open
+// would only leak them — the caller surfaces the error (or degrades to a
+// partial result) and never touches the spilled tier again.
 func (t *stateIndex) maybeSpill() (int64, error) {
 	if t.hotCapBytes <= 0 {
 		return 0, nil
@@ -422,11 +495,19 @@ func (t *stateIndex) maybeSpill() (int64, error) {
 				f, err := os.OpenFile(filepath.Join(t.spillPath, fmt.Sprintf("shard-%03d", i)),
 					os.O_RDWR|os.O_CREATE, 0o600)
 				if err != nil {
+					t.release()
 					return freed, fmt.Errorf("mc: spill: %w", err)
 				}
 				sh.file = f
 			}
+			if spillWriteHook != nil {
+				if err := spillWriteHook(i); err != nil {
+					t.release()
+					return freed, fmt.Errorf("mc: spill write: %w", err)
+				}
+			}
 			if _, err := sh.file.WriteAt(c, int64(ci)<<chunkShift); err != nil {
+				t.release()
 				return freed, fmt.Errorf("mc: spill write: %w", err)
 			}
 			freed += int64(len(c))
@@ -490,8 +571,7 @@ func (t *stateIndex) memBytes() int64 {
 		sh := &t.shards[i]
 		total += sh.hotBytes()
 		total += int64(cap(sh.entries)) * entrySize
-		total += sh.bucketCapBytes
-		total += int64(len(sh.buckets)) * mapEntryOverhead
+		total += int64(len(sh.buckets.eis)) * bucketSlotSize
 		total += int64(cap(sh.scratch))
 	}
 	return total

@@ -80,16 +80,30 @@ func TestIndexMemBytesCountsCapacities(t *testing.T) {
 		t.Errorf("memBytes = %d after one insert; a %d-byte chunk is allocated and must be charged", got, chunkSize)
 	}
 
-	// Bucket slice capacity must be tracked exactly as buckets grow:
-	// force many entries into one bucket via identical hashes.
+	// The bucket directory must charge exactly bucketSlotSize per
+	// allocated open-addressing slot, and entries forced to share one
+	// full hash must land in separate slots that all still resolve
+	// exactly (the probe chain disambiguates by key comparison).
 	idx2 := newStateIndex(1, 0, "")
 	hash := canon.HashBytes(testKey("seed"))
 	for i := 0; i < 100; i++ {
 		idx2.insert(testKey(fmt.Sprintf("k=%d", i)), hash, -1, nil)
 	}
 	sh := &idx2.shards[0]
-	if want := int64(cap(sh.buckets[hash])) * 8; sh.bucketCapBytes != want {
-		t.Errorf("bucketCapBytes = %d, want cap-exact %d", sh.bucketCapBytes, want)
+	if sh.buckets.n != 100 {
+		t.Errorf("bucket table holds %d entries, want 100", sh.buckets.n)
+	}
+	for i := 0; i < 100; i++ {
+		gid, ok, err := idx2.lookupHashed(testKey(fmt.Sprintf("k=%d", i)), hash)
+		if err != nil || !ok {
+			t.Fatalf("same-hash key %d not found (ok=%v, err=%v)", i, ok, err)
+		}
+		if gid != int64(i) {
+			t.Errorf("same-hash key %d resolved to gid %d", i, gid)
+		}
+	}
+	if got, wantMin := idx2.memBytes(), int64(len(sh.buckets.eis))*bucketSlotSize; got < wantMin {
+		t.Errorf("memBytes = %d must cover the bucket directory's %d bytes", got, wantMin)
 	}
 	if got := idx2.memBytes(); got < int64(cap(sh.entries))*entrySize {
 		t.Errorf("memBytes = %d must cover the entries table capacity %d", got, cap(sh.entries)*entrySize)

@@ -239,8 +239,15 @@ type succSpan struct {
 // batch is the per-state expansion output: successor machines plus their
 // canonical keys packed into a reusable arena. Batches are reused across
 // levels so steady-state expansion does not allocate per state.
+//
+// pool holds the W sibling clones expand steps in lockstep: CloneInto
+// overwrites a slot with an O(1) snapshot of the parent (no heap machine
+// per child), and only children the merge/commit pass decides to keep
+// are detached onto the heap. succs[p] points into pool — those pointers
+// die when the next level's expansion overwrites the slots.
 type batch struct {
 	m       *machine.Machine
+	pool    []machine.Machine
 	arena   []byte
 	spans   []succSpan
 	succs   []*machine.Machine
@@ -275,6 +282,67 @@ type checker struct {
 	ancKeys  [][]byte
 	ancArena []byte
 	outcomes []int64
+
+	// succArena backs every node's succs list. A node's successors are
+	// committed contiguously (the commit passes walk (frontier index,
+	// processor) in canonical order, one node at a time), so each list is
+	// a window re-sliced from the arena tail after each append — one
+	// amortized allocation for the whole graph instead of one per node.
+	succArena []int
+
+	// machSlab carves storage for kept machines (DetachTo) in chunks, one
+	// allocation per chunk instead of one per adopted state. Chunks
+	// rotate through three generations (handed out this level, previous
+	// level, reusable) in lockstep with cowSlab — see recycleKept.
+	machSlab []machine.Machine
+	machCur  [][]machine.Machine
+	machPrev [][]machine.Machine
+	machFree [][]machine.Machine
+
+	// cowSlab backs the arrays kept machines privatize while being
+	// primed — adopt runs on the sequential commit path in every engine
+	// mode, so one slab serves all of them without synchronization.
+	cowSlab machine.Slab
+}
+
+// newKept hands out one machine's worth of slab storage.
+func (c *checker) newKept() *machine.Machine {
+	if len(c.machSlab) == 0 {
+		if k := len(c.machFree); k > 0 {
+			c.machSlab = c.machFree[k-1]
+			c.machFree[k-1] = nil
+			c.machFree = c.machFree[:k-1]
+		} else {
+			c.machSlab = make([]machine.Machine, 128)
+		}
+		c.machCur = append(c.machCur, c.machSlab)
+	}
+	m := &c.machSlab[0]
+	c.machSlab = c.machSlab[1:]
+	return m
+}
+
+// recycleKept advances the machine-struct chunk generations at a level
+// boundary: everything handed out while expanding the level before last
+// is dead (kept machines die when their own level finishes expanding),
+// so those chunks become reusable. Reuse overwrites each struct wholly
+// via DetachTo, so freed chunks are not cleared.
+func (c *checker) recycleKept() {
+	c.machFree = append(c.machFree, c.machPrev...)
+	c.machPrev, c.machCur = c.machCur, c.machPrev[:0]
+	c.machSlab = nil // a partial chunk must not span generations
+}
+
+// appendSucc records id as curIdx's next successor. Relies on the
+// commit-order invariant above: a node's window is always the arena
+// tail while it is being appended to. A growth realloc copies the whole
+// arena, so re-slicing by index stays correct; stale windows in the old
+// backing are never mutated.
+func (c *checker) appendSucc(curIdx, id int) {
+	nd := &c.nodes[curIdx]
+	start := len(c.succArena) - len(nd.succs)
+	c.succArena = append(c.succArena, id)
+	nd.succs = c.succArena[start:len(c.succArena):len(c.succArena)]
 }
 
 // Check explores all schedules of the machine produced by factory().
@@ -374,6 +442,15 @@ func Check(factory func() (*machine.Machine, error), opts Options) (*Result, err
 		// cold index chunks to disk.
 		freed, serr := c.idx.maybeSpill()
 		if serr != nil {
+			// A failed spill (disk full, unwritable dir) ends exploration,
+			// but everything explored so far is intact in memory — degrade
+			// to a partial result when the caller opted in, exactly like a
+			// budget exhaustion.
+			c.res.Complete = false
+			c.res.Exhausted = "spill"
+			if c.opts.Partial {
+				return c.finish(nil)
+			}
 			return c.finish(serr)
 		}
 		if freed > 0 && opts.Obs.Enabled() {
@@ -381,6 +458,12 @@ func Check(factory func() (*machine.Machine, error), opts Options) (*Result, err
 		}
 		c.level, c.next = c.next, c.level[:0]
 		c.levelIdx, c.nextIdx = c.nextIdx, c.levelIdx[:0]
+		// Every machine of the just-expanded level is dead (the merge and
+		// commit passes nil the level slots as they finish), so the slab
+		// generations advance: chunks retired two boundaries ago are
+		// reused for the machines the next level will keep.
+		c.recycleKept()
+		c.cowSlab.Recycle()
 	}
 	c.res.Complete = true
 
@@ -508,32 +591,54 @@ func (c *checker) runLevelParallel(workers int) (bool, error) {
 // expand computes all successors of cur into b: cloned machines plus
 // their canonical binary keys. Pure with respect to checker state except
 // for b, so level expansion parallelizes; predicates never run here.
+//
+// This is the batch-stepping hot loop: cur was primed when it was
+// adopted (every fingerprint window valid in its private arena), so its
+// own key is a pure window copy, and each sibling clone stepped out of
+// the pool re-encodes only the ≤1 frame and ≤2 variables its step
+// touched — every other component is copied straight out of the
+// parent's frozen arena.
 func (c *checker) expand(cur *machine.Machine, b *batch) {
 	b.err = nil
 	b.arena = b.arena[:0]
 	b.spans = b.spans[:0]
 	b.succs = b.succs[:0]
+	if len(b.pool) < c.nProcs {
+		b.pool = make([]machine.Machine, c.nProcs)
+	}
 	curKey := cur.AppendStateKey(b.scratch[0][:0], nil, nil)
 	b.scratch[0] = curKey
 	for p := 0; p < c.nProcs; p++ {
-		next := cur.Clone()
+		next := &b.pool[p]
+		cur.CloneInto(next)
 		if err := next.Step(p); err != nil {
 			b.err = fmt.Errorf("mc: stepping %d: %w", p, err)
 			return
 		}
-		raw := next.AppendStateKey(b.scratch[1][:0], nil, nil)
-		b.scratch[1] = raw
-		selfLoop := bytes.Equal(raw, curKey)
-		key := raw
-		var hash uint64
-		if !selfLoop {
-			if len(c.perms) > 0 {
-				key = c.minimizeKey(next, b)
-			}
-			hash = canon.HashBytes(key)
-		}
 		start := len(b.arena)
-		b.arena = append(b.arena, key...)
+		var hash uint64
+		var selfLoop bool
+		if len(c.perms) == 0 {
+			// Encode straight into the batch arena — no scratch bounce.
+			b.arena = next.AppendStateKey(b.arena, nil, nil)
+			key := b.arena[start:]
+			selfLoop = bytes.Equal(key, curKey)
+			if !selfLoop {
+				hash = canon.HashBytes(key)
+			}
+		} else {
+			// Symmetry mode compares the raw key against its whole orbit
+			// before committing one representative to the arena.
+			raw := next.AppendStateKey(b.scratch[1][:0], nil, nil)
+			b.scratch[1] = raw
+			selfLoop = bytes.Equal(raw, curKey)
+			key := raw
+			if !selfLoop {
+				key = c.minimizeKey(next, b)
+				hash = canon.HashBytes(key)
+			}
+			b.arena = append(b.arena, key...)
+		}
 		b.spans = append(b.spans, succSpan{start: start, end: len(b.arena), hash: hash, selfLoop: selfLoop})
 		b.succs = append(b.succs, next)
 	}
@@ -590,7 +695,7 @@ func (c *checker) merge(curIdx int, b *batch) (bool, error) {
 			return true, err
 		} else if ok {
 			c.stats.DedupHits++
-			c.nodes[curIdx].succs = append(c.nodes[curIdx].succs, int(gid-c.idx.baseID))
+			c.appendSucc(curIdx, int(gid-c.idx.baseID))
 			continue
 		} else if c.res.StatesExplored >= c.maxStates {
 			// Budget check strictly before the push: the checker
@@ -604,9 +709,13 @@ func (c *checker) merge(curIdx int, b *batch) (bool, error) {
 					return true, err
 				}
 			}
-			id := c.pushHashed(next, key, sp.hash, curIdx, p, ancGID, ancKey)
-			c.nodes[curIdx].succs = append(c.nodes[curIdx].succs, id)
-			if v := c.checkState(next, id); v != nil {
+			// Detach the pool slot onto the heap before adoption; the
+			// pool pointer must not be read past this point (priming the
+			// kept machine rebases span arrays the slot still aliases).
+			kept := next.DetachTo(c.newKept())
+			id := c.pushHashed(kept, key, sp.hash, curIdx, p, ancGID, ancKey)
+			c.appendSucc(curIdx, id)
+			if v := c.checkState(kept, id); v != nil {
 				c.res.Violation = v
 				return true, nil
 			}
@@ -634,7 +743,14 @@ func (c *checker) pushHashed(m *machine.Machine, key []byte, hash uint64, parent
 // committed to the index: its node, frontier slot, stuck flag, and the
 // explored-state counters. The node index always equals the committed
 // gid minus baseID because ids are dense and assigned in commit order.
+//
+// Priming here — once per kept state, never per candidate — rebases the
+// machine onto a private fingerprint arena with every window valid, so
+// the next level's expansion reads it (and its own children read the
+// frozen arena) without encoding anything that didn't change.
 func (c *checker) adopt(m *machine.Machine, parent, step int) int {
+	m.SetSlab(&c.cowSlab)
+	m.PrimeFingerprints()
 	stuck := ""
 	if c.opts.StuckBad != nil {
 		stuck = c.opts.StuckBad(m)

@@ -150,19 +150,26 @@ func (c *checker) stagePartition(w, stride int, batches []batch, ancGIDs []int64
 			key := b.arena[sp.start:sp.end]
 			var out shardOutcome
 			comparable := true
-			for _, ei := range sh.buckets[sp.hash] {
-				e := &sh.entries[ei]
-				if e.anc >= 0 || e.off < sh.bound {
-					// Delta-stored (ancestor may live on another shard)
-					// or spilled: not locally comparable.
-					comparable = false
-					break
-				}
-				pos := int(e.off & chunkMask)
-				raw := sh.chunks[e.off>>chunkShift][pos : pos+int(e.n)]
-				if bytes.Equal(raw, key) {
-					out = outHit<<48 | ei
-					break
+			bt := &sh.buckets
+			if bt.eis != nil {
+				for sl := sp.hash & bt.mask; bt.eis[sl] >= 0; sl = (sl + 1) & bt.mask {
+					if bt.hashes[sl] != sp.hash {
+						continue
+					}
+					ei := bt.eis[sl]
+					e := &sh.entries[ei]
+					if e.anc >= 0 || e.off < sh.bound {
+						// Delta-stored (ancestor may live on another shard)
+						// or spilled: not locally comparable.
+						comparable = false
+						break
+					}
+					pos := int(e.off & chunkMask)
+					raw := sh.chunks[e.off>>chunkShift][pos : pos+int(e.n)]
+					if bytes.Equal(raw, key) {
+						out = outHit<<48 | ei
+						break
+					}
 				}
 			}
 			if out == 0 {
@@ -247,12 +254,15 @@ func (c *checker) commitLevel(batches []batch, ancGIDs []int64, ancKeys [][]byte
 			}
 			if !isNew {
 				c.stats.DedupHits++
-				c.nodes[curIdx].succs = append(c.nodes[curIdx].succs, int(gid-c.idx.baseID))
+				c.appendSucc(curIdx, int(gid-c.idx.baseID))
 				continue
 			}
-			id := c.adopt(next, curIdx, p)
-			c.nodes[curIdx].succs = append(c.nodes[curIdx].succs, id)
-			if v := c.checkState(next, id); v != nil {
+			// As in merge: detach before adoption, and never read the
+			// pool pointer afterwards.
+			kept := next.DetachTo(c.newKept())
+			id := c.adopt(kept, curIdx, p)
+			c.appendSucc(curIdx, id)
+			if v := c.checkState(kept, id); v != nil {
 				c.res.Violation = v
 				return true, nil
 			}

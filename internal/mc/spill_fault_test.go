@@ -1,0 +1,211 @@
+package mc
+
+import (
+	"errors"
+	"fmt"
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+
+	"simsym/internal/machine"
+	"simsym/internal/system"
+)
+
+// fillSpillable inserts enough wide keys that every shard finalizes at
+// least one chunk — only finalized chunks are spillable.
+func fillSpillable(t *testing.T, idx *stateIndex, start, n int) {
+	t.Helper()
+	for i := start; i < start+n; i++ {
+		key := testKey(fmt.Sprintf("pc=%d", i%7), fmt.Sprintf("x=%0200d", i), "padpadpadpadpadpadpadpad")
+		mustInsert(t, idx, key, -1, nil)
+	}
+}
+
+// assertSpillReleased checks the invariant the error paths must uphold:
+// no per-shard file handle stays open and the spill directory is gone.
+func assertSpillReleased(t *testing.T, idx *stateIndex, dir string) {
+	t.Helper()
+	for i := range idx.shards {
+		if idx.shards[i].file != nil {
+			t.Errorf("shard %d spill file left open after failed spill", i)
+		}
+	}
+	if idx.spillPath != "" {
+		t.Errorf("spillPath %q not cleared after failed spill", idx.spillPath)
+	}
+	if dir != "" {
+		if _, err := os.Stat(dir); !os.IsNotExist(err) {
+			t.Errorf("spill dir %q not removed after failed spill; stat err = %v", dir, err)
+		}
+	}
+}
+
+// TestSpillWriteErrorReleasesTier: a chunk write failing on the very
+// first spill must close the just-opened shard file and remove the fresh
+// spill directory — the old code returned with both still live, leaking
+// an fd and a temp dir per failed run.
+func TestSpillWriteErrorReleasesTier(t *testing.T) {
+	idx := newStateIndex(2, chunkSize/2, t.TempDir())
+	defer idx.release()
+	fillSpillable(t, idx, 0, 1500)
+
+	var dir string
+	spillWriteHook = func(shard int) error {
+		dir = idx.spillPath // capture the MkdirTemp result before release clears it
+		return errors.New("injected: disk full")
+	}
+	defer func() { spillWriteHook = nil }()
+
+	_, err := idx.maybeSpill()
+	if err == nil || !strings.Contains(err.Error(), "injected") {
+		t.Fatalf("maybeSpill err = %v, want injected write error", err)
+	}
+	if dir == "" {
+		t.Fatal("hook never ran; test exercised nothing")
+	}
+	assertSpillReleased(t, idx, dir)
+}
+
+// TestSpillWriteErrorMidLevelReleasesTier: the failure lands after
+// several chunks already spilled successfully — the established tier
+// (open files on possibly several shards, non-empty directory) must be
+// torn down just the same.
+func TestSpillWriteErrorMidLevelReleasesTier(t *testing.T) {
+	idx := newStateIndex(2, chunkSize/2, t.TempDir())
+	defer idx.release()
+	fillSpillable(t, idx, 0, 1500)
+
+	// First spill succeeds and establishes the tier.
+	if _, err := idx.maybeSpill(); err != nil {
+		t.Fatal(err)
+	}
+	if idx.spilledBytes == 0 || idx.spillPath == "" {
+		t.Fatal("setup: first spill never engaged the tier")
+	}
+	dir := idx.spillPath
+
+	// More keys, then a spill that dies on its third chunk write.
+	fillSpillable(t, idx, 1500, 1500)
+	calls := 0
+	spillWriteHook = func(shard int) error {
+		calls++
+		if calls >= 3 {
+			return errors.New("injected: disk full")
+		}
+		return nil
+	}
+	defer func() { spillWriteHook = nil }()
+
+	freed, err := idx.maybeSpill()
+	if err == nil || !strings.Contains(err.Error(), "injected") {
+		t.Fatalf("maybeSpill err = %v (freed %d), want injected write error", err, freed)
+	}
+	assertSpillReleased(t, idx, dir)
+
+	// Idempotence under the existing defer idx.release() in Check.
+	idx.release()
+	assertSpillReleased(t, idx, dir)
+}
+
+// spillFaultModel is a small closed model (the Figure 5 four-philosopher
+// table) that reliably crosses a 1-byte hot-index cap at the first level
+// boundary.
+func spillFaultModel(t *testing.T) (*system.System, *machine.Program) {
+	t.Helper()
+	s, err := system.DiningFlipped(4)
+	if err != nil {
+		t.Fatal(err)
+	}
+	bl := machine.NewBuilder()
+	g1, g2 := bl.Sym("_g1"), bl.Sym("_g2")
+	bl.Label("grab1")
+	bl.Lock("left", "_g1")
+	bl.JumpIf(func(r *machine.Regs) bool { return r.Get(g1) != true }, "grab1")
+	bl.Label("grab2")
+	bl.Lock("right", "_g2")
+	bl.JumpIf(func(r *machine.Regs) bool { return r.Get(g2) != true }, "grab2")
+	bl.Unlock("right")
+	bl.Unlock("left")
+	bl.Halt()
+	prog, err := bl.Build()
+	if err != nil {
+		t.Fatal(err)
+	}
+	return s, prog
+}
+
+// TestCheckSpillErrorPartial: with Options.Partial a failing spill tier
+// degrades into a graceful partial result (Exhausted="spill") instead of
+// an error, and leaves nothing behind in SpillDir; without Partial the
+// injected error surfaces. Either way the temp dir must be cleaned up.
+func TestCheckSpillErrorPartial(t *testing.T) {
+	s, prog := spillFaultModel(t)
+	spillWriteHook = func(shard int) error { return errors.New("injected: disk full") }
+	defer func() { spillWriteHook = nil }()
+
+	for _, partial := range []bool{true, false} {
+		dir := t.TempDir()
+		res, err := Check(func() (*machine.Machine, error) {
+			return machine.New(s, system.InstrL, prog)
+		}, Options{
+			MaxStates:     500_000,
+			HotIndexBytes: 1,
+			SpillDir:      dir,
+			Partial:       partial,
+		})
+		if partial {
+			if err != nil {
+				t.Fatalf("Partial=true: Check err = %v, want graceful degradation", err)
+			}
+			if res.Complete {
+				t.Error("Partial=true: result claims Complete despite dead spill tier")
+			}
+			if res.Exhausted != "spill" {
+				t.Errorf("Partial=true: Exhausted = %q, want \"spill\"", res.Exhausted)
+			}
+			if res.StatesExplored == 0 {
+				t.Error("Partial=true: partial result lost the states explored before the fault")
+			}
+		} else if err == nil || !strings.Contains(err.Error(), "injected") {
+			t.Fatalf("Partial=false: Check err = %v, want injected spill error", err)
+		}
+		ents, rerr := os.ReadDir(dir)
+		if rerr != nil {
+			t.Fatal(rerr)
+		}
+		for _, e := range ents {
+			t.Errorf("Partial=%v: leaked %q under SpillDir", partial, filepath.Join(dir, e.Name()))
+		}
+	}
+}
+
+// TestSpillOpenErrorReleasesTier: failing to open a shard file (revoked
+// directory permissions after the tier was created) must also release
+// the directory rather than leak it.
+func TestSpillOpenErrorReleasesTier(t *testing.T) {
+	if os.Getuid() == 0 {
+		t.Skip("permission-based injection is a no-op for root")
+	}
+	idx := newStateIndex(1, chunkSize/2, t.TempDir())
+	defer idx.release()
+	fillSpillable(t, idx, 0, 1500)
+
+	// Pre-create the spill dir, then make it unwritable so OpenFile fails.
+	parent := t.TempDir()
+	path, err := os.MkdirTemp(parent, "mc-spill-*")
+	if err != nil {
+		t.Fatal(err)
+	}
+	idx.spillPath = path
+	if err := os.Chmod(path, 0o500); err != nil {
+		t.Fatal(err)
+	}
+	defer os.Chmod(path, 0o700) // let TempDir cleanup succeed if the test fails
+
+	if _, err := idx.maybeSpill(); err == nil {
+		t.Fatal("maybeSpill succeeded despite unwritable spill dir")
+	}
+	os.Chmod(path, 0o700) // RemoveAll already ran; restore for the assert below
+	assertSpillReleased(t, idx, path)
+}
