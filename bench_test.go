@@ -148,6 +148,12 @@ func BenchmarkExp15AlgorithmS(b *testing.B) {
 	benchTable(b, func() (*experiments.Table, error) { return experiments.E15AlgorithmS(2) })
 }
 
+// BenchmarkExp16Statistical regenerates E16 at a loosened half-width
+// (ε=0.2 → 47 trials per row) so one iteration stays sub-second.
+func BenchmarkExp16Statistical(b *testing.B) {
+	benchTable(b, func() (*experiments.Table, error) { return experiments.E16Statistical(0.2) })
+}
+
 // BenchmarkSelectQ measures the full SELECT pipeline (decide + compile +
 // run) on a marked ring in Q.
 func BenchmarkSelectQ(b *testing.B) {

@@ -44,6 +44,7 @@ var registry = []struct {
 	{"E13", experiments.E13Encapsulated},
 	{"E14", experiments.E14CSP},
 	{"E15", func() (*experiments.Table, error) { return experiments.E15AlgorithmS(5) }},
+	{"E16", func() (*experiments.Table, error) { return experiments.E16Statistical(0.05) }},
 }
 
 func main() {
@@ -55,7 +56,7 @@ func main() {
 
 func run(args []string, out io.Writer) error {
 	fs := flag.NewFlagSet("experiments", flag.ContinueOnError)
-	only := fs.String("only", "", "run a single experiment (E1..E15)")
+	only := fs.String("only", "", "run a single experiment (E1..E16)")
 	progress := fs.Bool("progress", false, "stream model-checker progress snapshots to stderr")
 	obsFlags := obsflag.Register(fs)
 	if err := fs.Parse(args); err != nil {

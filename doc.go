@@ -46,6 +46,28 @@
 // (Recorder.Metrics) renderable in Prometheus text format. A nil
 // observer costs one pointer check on the hot paths.
 //
+// # Statistical checking
+//
+// When the state space is too large for CheckOpts to enumerate,
+// CheckStatistical and CheckStatisticalDining estimate the probability
+// that one random bounded run violates the invariants, by sampling
+// i.i.d. seeded schedules (optionally under seeded crash/stall/lock-drop
+// faults) and stopping per the Okamoto/Chernoff–Hoeffding bound:
+//
+//	rep, err := simsym.CheckStatisticalDining(sys, prog,
+//	    simsym.WithConfidence(0.01, 0.05), // half-width ε, 1−δ confidence
+//	    simsym.WithDepth(1024),            // slots per sampled run
+//	    simsym.WithFaults("lockdrop"),
+//	    simsym.WithSeed(42),
+//	    simsym.WithWorkers(4))
+//	// rep.Estimate ± rep.HalfWidth bounds the violation probability;
+//	// rep.Schedule and rep.Faults replay any counterexample exactly.
+//
+// The same seed produces a byte-identical report at every worker count,
+// and a report's counterexample trace replays through the adversary
+// harness. Unlike CheckOpts this is never a proof — Safe means "no
+// sampled run violated", qualified by the confidence interval.
+//
 // # Migrating from the positional API
 //
 // The original positional functions remain and now delegate to the

@@ -106,6 +106,11 @@ type Harness struct {
 	StatePreds []mc.StatePredicate
 	TransPreds []mc.TransitionPredicate
 
+	// ProcPreds see (machine, stepping processor) after every executed
+	// step — the localized complement of StatePreds for sampled runs at
+	// large n, where an O(n) scan per step would dominate the run.
+	ProcPreds []mc.ProcPredicate
+
 	// Done is the convergence predicate, checked before every slot and
 	// once more at the end.
 	Done func(m *machine.Machine) bool
@@ -211,6 +216,12 @@ func (h *Harness) Run() (*Result, error) {
 		if v := h.checkState(m, slot, res.Steps); v != nil {
 			res.Violation = v
 			return finish()
+		}
+		for _, pred := range h.ProcPreds {
+			if msg := pred(m, pick); msg != "" {
+				res.Violation = &Violation{Slot: slot, Step: res.Steps, Reason: msg}
+				return finish()
+			}
 		}
 		for _, pred := range h.TransPreds {
 			if msg := pred(before, m, pick); msg != "" {

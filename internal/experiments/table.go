@@ -2,7 +2,7 @@
 // — its five figures, its algorithms, its theorems, the section 9 model
 // hierarchy, and the section 8 randomization claims — as printable
 // tables. Each experiment Ei corresponds to a row of DESIGN.md's
-// per-experiment index (E1–E15), is exercised by a root-level benchmark, and has
+// per-experiment index (E1–E16), is exercised by a root-level benchmark, and has
 // its paper-vs-measured record in EXPERIMENTS.md.
 package experiments
 

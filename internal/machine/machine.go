@@ -1926,6 +1926,18 @@ func (m *Machine) DetachTo(dst *Machine) *Machine {
 	return dst
 }
 
+// Selected reports whether processor p's conventional "selected" local
+// holds true (false when the program has no such local or p is out of
+// range). Unlike SelectedProcs it is a single slot read — cheap enough
+// for per-step predicates in sampled runs.
+func (m *Machine) Selected(p int) bool {
+	if m.selSym < 0 || p < 0 || p >= len(m.frames) {
+		return false
+	}
+	sel, ok := m.frameAt(p).Locals[m.selSym].(bool)
+	return ok && sel
+}
+
 // SelectedProcs returns the processors whose local "selected" is true —
 // the paper's selected_p flag (section 3).
 func (m *Machine) SelectedProcs() []int {

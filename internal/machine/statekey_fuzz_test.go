@@ -13,6 +13,7 @@ import (
 
 	"simsym/internal/dining"
 	"simsym/internal/machine"
+	"simsym/internal/mc"
 	"simsym/internal/system"
 )
 
@@ -59,6 +60,10 @@ func fuzzTopology(t testing.TB, sel uint8) *system.System {
 //     produce byte-for-byte the plain key of an explicitly permuted
 //     machine — the same program run on system.Apply(s, perm) under the
 //     correspondingly permuted schedule.
+//  3. Sampled schedules: the same differential holds along a schedule
+//     drawn the way the statistical checker draws them — a PRNG stream
+//     seeded per sample index (mc.SampleSeed) — so the arena's warm
+//     paths are fuzzed on the exact step distributions mc.Sample runs.
 func FuzzStateKeyOracle(f *testing.F) {
 	for topo := uint8(0); topo < 6; topo++ {
 		for is := uint8(0); is < 3; is++ {
@@ -145,6 +150,34 @@ func FuzzStateKeyOracle(f *testing.F) {
 		plain := m2.AppendStateKey(nil, nil, nil)
 		if !bytes.Equal(relabeled, plain) {
 			t.Fatalf("relabeled key of m != plain key of the permuted machine\nrelabeled %q\nplain     %q", relabeled, plain)
+		}
+
+		// 3. One sampled-schedule execution: derive the per-sample seed
+		// exactly as mc.Sample would for trial 0 of this base seed, draw a
+		// uniform schedule from it, and check that a warm-arena run and a
+		// cold replay of the same draws land in the same key/oracle class.
+		sampled := func(sys *system.System, prime bool) *machine.Machine {
+			srng := rand.New(rand.NewSource(mc.SampleSeed(seed, 0)))
+			m, err := machine.New(sys, instr, prog)
+			if err != nil {
+				t.Fatal(err)
+			}
+			for i := 0; i < 48; i++ {
+				if _, err := m.StepOrSkip(srng.Intn(sys.NumProcs())); err != nil {
+					break
+				}
+				if prime && i == 24 {
+					m.PrimeFingerprints()
+				}
+			}
+			return m
+		}
+		warm, cold := sampled(s, true), sampled(s, false)
+		if !bytes.Equal(warm.AppendStateKey(nil, nil, nil), cold.AppendStateKey(nil, nil, nil)) {
+			t.Fatalf("sampled schedule: warm arena key diverged from cold replay")
+		}
+		if warm.FingerprintOracle() != cold.FingerprintOracle() {
+			t.Fatalf("sampled schedule: oracle strings diverged between warm and cold runs")
 		}
 	})
 }

@@ -66,6 +66,13 @@ const (
 	// they depend only on configured byte budgets and the explored
 	// state space, never on wall-clock time.
 	KindSpill
+	// KindSample reports statistical-checker progress, one event per
+	// merged sampling round: Name is the engine, A=trials merged so
+	// far, B=violations among them, C=the stopping-rule target sample
+	// count. Sample events are deterministic: trials are seeded per
+	// index and merged in index order, so the stream depends only on
+	// (seed, options), never on worker interleaving or wall-clock time.
+	KindSample
 )
 
 var kindNames = map[Kind]string{
@@ -78,6 +85,7 @@ var kindNames = map[Kind]string{
 	KindVerdict:        "verdict",
 	KindStat:           "stat",
 	KindSpill:          "spill",
+	KindSample:         "sample",
 }
 
 // String implements fmt.Stringer.
@@ -271,6 +279,16 @@ func (r *Recorder) Spill(engine string, bytes, total, flush int64) {
 		return
 	}
 	r.Emit(Event{Kind: KindSpill, Name: engine, A: bytes, B: total, C: flush})
+}
+
+// SampleRound emits one merged statistical-checker round for the named
+// engine: trials merged so far, violations among them, and the
+// stopping-rule target.
+func (r *Recorder) SampleRound(engine string, samples, violations, target int) {
+	if r == nil {
+		return
+	}
+	r.Emit(Event{Kind: KindSample, Name: engine, A: int64(samples), B: int64(violations), C: int64(target)})
 }
 
 // Count adds delta to the named monotonic counter.

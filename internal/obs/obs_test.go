@@ -63,7 +63,7 @@ func TestRecorderSequencing(t *testing.T) {
 }
 
 func TestKindStringRoundTrip(t *testing.T) {
-	for k := KindPhaseStart; k <= KindSpill; k++ {
+	for k := KindPhaseStart; k <= KindSample; k++ {
 		got, ok := KindFromString(k.String())
 		if !ok || got != k {
 			t.Errorf("kind %d: round-trip via %q failed (got %d, ok=%v)", k, k.String(), got, ok)

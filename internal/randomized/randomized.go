@@ -48,6 +48,24 @@ type ElectionResult struct {
 // The implementation simulates the ring synchronously phase by phase —
 // the asynchronous message-passing behavior of the algorithm is
 // insensitive to interleaving because each phase is a full circulation.
+//
+// Message accounting models the token circulation hop by hop: each
+// active processor launches a token carrying its drawn id, passive
+// processors relay tokens without inspecting them, and an active
+// processor swallows any arriving token whose id is strictly below its
+// own. Tokens carrying the phase's maximum id are never swallowed and
+// travel the full n hops home, where a hop count of n tells the owner it
+// holds a maximal id (alone: elected; tied: next phase among the tied).
+// Every hop is one message. Sub-maximal tokens therefore stop early — in
+// the terminal phase they stop no later than the winner — which is what
+// keeps the expected total O(n log n); the earlier full-circulation
+// model charged every active token n hops in every phase, including the
+// terminal one.
+//
+// On non-convergence the returned result is non-nil and carries the
+// phases and messages actually spent (Leader is meaningless there);
+// aggregators must include that cost or their statistics are
+// survivorship-biased. The result is nil only for ErrBadArgs.
 func ItaiRodeh(rng *rand.Rand, n, idSpace, maxPhases int) (*ElectionResult, error) {
 	if n < 1 || idSpace < 2 || maxPhases < 1 {
 		return nil, fmt.Errorf("%w: n=%d idSpace=%d maxPhases=%d", ErrBadArgs, n, idSpace, maxPhases)
@@ -70,15 +88,26 @@ func ItaiRodeh(rng *rand.Rand, n, idSpace, maxPhases int) (*ElectionResult, erro
 				}
 			}
 		}
-		// One full circulation: every active processor's id visits every
-		// other processor (n messages per active processor).
-		activeCount := 0
+		// Circulate tokens: maximal ids travel the full ring home; every
+		// other token hops clockwise until the first active processor
+		// with a strictly larger id swallows it.
 		for p := 0; p < n; p++ {
-			if active[p] {
-				activeCount++
+			if !active[p] {
+				continue
 			}
+			if ids[p] == maxID {
+				res.Messages += n
+				continue
+			}
+			hops := 0
+			for q := (p + 1) % n; ; q = (q + 1) % n {
+				hops++
+				if active[q] && ids[q] > ids[p] {
+					break
+				}
+			}
+			res.Messages += hops
 		}
-		res.Messages += activeCount * n
 		// Processors whose id is below the maximum go passive; ties stay.
 		tied := 0
 		winner := -1
@@ -98,15 +127,29 @@ func ItaiRodeh(rng *rand.Rand, n, idSpace, maxPhases int) (*ElectionResult, erro
 			return res, nil
 		}
 	}
-	return nil, fmt.Errorf("%w: %d phases", ErrNoConvergence, maxPhases)
+	return res, fmt.Errorf("%w: %d phases", ErrNoConvergence, maxPhases)
 }
 
 // ElectionStats aggregates repeated elections.
 type ElectionStats struct {
-	Runs       int
-	Successes  int
+	// Runs counts every election attempted: Successes + Failures.
+	Runs int
+	// Successes counts runs that converged within maxPhases.
+	Successes int
+	// Failures counts censored runs: maxPhases elapsed with two or more
+	// processors still tied. Their phase and message costs are real and
+	// appear in TotalMsgs, but not in the converged-run means below.
+	Failures int
+	// MeanPhases and MeanMsgs average over converged runs only — they
+	// answer "what does a completed election cost", conditioned on
+	// completion within the budget.
 	MeanPhases float64
 	MeanMsgs   float64
+	// TotalMsgs counts ring messages across ALL runs, converged or not.
+	// Censored runs consumed real messages; dropping them (as the
+	// pre-fix code did, while still reporting Runs as the full count)
+	// made any cost-per-election figure survivorship-biased.
+	TotalMsgs int
 }
 
 // ElectionSweep runs the election repeatedly and aggregates.
@@ -121,6 +164,8 @@ func ElectionSweep(seed int64, n, idSpace, maxPhases, runs int) (*ElectionStats,
 		res, err := ItaiRodeh(rng, n, idSpace, maxPhases)
 		if err != nil {
 			if errors.Is(err, ErrNoConvergence) {
+				stats.Failures++
+				stats.TotalMsgs += res.Messages
 				continue
 			}
 			return nil, err
@@ -129,6 +174,7 @@ func ElectionSweep(seed int64, n, idSpace, maxPhases, runs int) (*ElectionStats,
 		totalPhases += res.Phases
 		totalMsgs += res.Messages
 	}
+	stats.TotalMsgs += totalMsgs
 	if stats.Successes > 0 {
 		stats.MeanPhases = float64(totalPhases) / float64(stats.Successes)
 		stats.MeanMsgs = float64(totalMsgs) / float64(stats.Successes)

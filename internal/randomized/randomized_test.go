@@ -62,11 +62,103 @@ func TestElectionSweep(t *testing.T) {
 	if stats.Successes != 100 {
 		t.Errorf("successes = %d, want 100", stats.Successes)
 	}
+	if stats.Failures != 0 {
+		t.Errorf("failures = %d, want 0", stats.Failures)
+	}
 	if stats.MeanPhases < 1 {
 		t.Errorf("mean phases = %f", stats.MeanPhases)
 	}
-	if stats.MeanMsgs < float64(8*8) {
+	// Every phase the maximal token circles the whole ring home, so a
+	// converged run costs at least n messages per phase; sub-maximal
+	// tokens stop early under the swallowing model, so it also costs at
+	// most n per active token per phase.
+	if stats.MeanMsgs < float64(8) {
 		t.Errorf("mean messages = %f looks too small", stats.MeanMsgs)
+	}
+	if stats.MeanMsgs > float64(8*8)*stats.MeanPhases {
+		t.Errorf("mean messages = %f exceeds the full-circulation bound", stats.MeanMsgs)
+	}
+	if got := stats.TotalMsgs; got != int(stats.MeanMsgs*float64(stats.Successes)+0.5) {
+		t.Errorf("with no failures TotalMsgs = %d should equal the successes' total", got)
+	}
+}
+
+// TestItaiRodehMessageModel pins the token-swallowing accounting exactly
+// for n=2, where it is computable by hand: a tying phase costs 4 (both
+// maximal tokens circle home), and the terminal phase costs 3 (the
+// winner's token circles, the loser's token is swallowed after one hop).
+// The pre-fix full-circulation model charged 4 per phase — including the
+// terminal one — so this fails on the old code.
+func TestItaiRodehMessageModel(t *testing.T) {
+	rng := rand.New(rand.NewSource(6))
+	for run := 0; run < 200; run++ {
+		res, err := ItaiRodeh(rng, 2, 2, 500)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if want := 4*(res.Phases-1) + 3; res.Messages != want {
+			t.Fatalf("run %d: n=2 messages = %d over %d phases, want %d",
+				run, res.Messages, res.Phases, want)
+		}
+	}
+}
+
+// TestItaiRodehTerminalPhaseStopsEarly: for any n, the terminal phase of
+// a one-phase election must cost less than the n*n full circulation
+// whenever at least one sub-maximal token can be swallowed before
+// returning home (guaranteed for n >= 3: some processor is not the
+// winner's immediate predecessor).
+func TestItaiRodehTerminalPhaseStopsEarly(t *testing.T) {
+	rng := rand.New(rand.NewSource(8))
+	const n = 16
+	for run := 0; run < 100; run++ {
+		res, err := ItaiRodeh(rng, n, 1<<16, 10)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if res.Phases != 1 {
+			continue // astronomically unlikely tie in a 2^16 id space
+		}
+		if res.Messages >= n*n {
+			t.Fatalf("run %d: terminal phase charged %d messages, full circulation would be %d",
+				run, res.Messages, n*n)
+		}
+		if res.Messages < n {
+			t.Fatalf("run %d: %d messages, but the winner's token alone travels %d hops",
+				run, res.Messages, n)
+		}
+	}
+}
+
+// TestElectionSweepCountsCensoredRuns pins the survivorship-bias fix:
+// with idSpace=2, n=8 and a single allowed phase, most elections fail to
+// converge (a unique maximum among eight binary draws needs exactly one
+// 1, probability 8/2^8 ≈ 3%), and their message cost must still be
+// accounted.
+func TestElectionSweepCountsCensoredRuns(t *testing.T) {
+	const n, runs = 8, 50
+	stats, err := ElectionSweep(3, n, 2, 1, runs)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if stats.Failures == 0 {
+		t.Fatal("seed should produce at least one non-convergence")
+	}
+	if stats.Successes+stats.Failures != stats.Runs || stats.Runs != runs {
+		t.Errorf("runs = %d, successes = %d, failures = %d: counts must add up",
+			stats.Runs, stats.Successes, stats.Failures)
+	}
+	// Every run — censored or not — circulates its maximal token(s) the
+	// full ring at least once, so the all-runs total must exceed what
+	// the successes alone can account for.
+	if stats.TotalMsgs < stats.Runs*n {
+		t.Errorf("TotalMsgs = %d < %d: censored runs' messages were dropped",
+			stats.TotalMsgs, stats.Runs*n)
+	}
+	successMsgs := int(stats.MeanMsgs*float64(stats.Successes) + 0.5)
+	if stats.TotalMsgs <= successMsgs {
+		t.Errorf("TotalMsgs = %d should exceed the successes' own total %d",
+			stats.TotalMsgs, successMsgs)
 	}
 }
 

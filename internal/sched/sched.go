@@ -99,11 +99,17 @@ func Concat(parts ...[]int) []int {
 // window in O(1). (The obvious per-start rescan is O(len·k) and is kept
 // in the tests as the oracle.)
 func IsKBounded(schedule []int, n, k int) bool {
-	if k < n {
-		return false
-	}
 	if len(schedule) < k {
+		// No full window exists, so nothing can violate the bound: a
+		// prefix shorter than one window can always be extended fairly.
+		// This holds even for k < n — the order of this test and the
+		// next matters (IsKBounded(nil, 3, 2) is true, vacuously).
 		return true
+	}
+	if k < n {
+		// At least one full window exists, and k slots can never name n
+		// distinct processors.
+		return false
 	}
 	count := make([]int, n)
 	distinct := 0

@@ -96,6 +96,14 @@ func TestIsKBounded(t *testing.T) {
 		{"wide window ok", []int{0, 1, 0, 0, 1, 0}, 2, 4, true},
 		{"short schedule vacuous", []int{0}, 2, 5, true},
 		{"empty schedule vacuous", nil, 2, 2, true},
+		// Vacuous truth must survive k < n: with no full window there is
+		// nothing to violate (the old implementation returned false here,
+		// contradicting its own off-the-end rule).
+		{"empty schedule vacuous even when k < n", nil, 3, 2, true},
+		{"empty schedule with k = n", nil, 3, 3, true},
+		{"short schedule vacuous even when k < n", []int{0}, 3, 2, true},
+		{"full window with k < n still impossible", []int{0, 1}, 3, 2, false},
+		{"zero k with a full empty window", nil, 2, 0, false},
 		{"negative index is not a processor", []int{0, -1, 1, 0, -1, 1}, 2, 3, true},
 		{"negative index cannot stand in for coverage", []int{0, -1, 0}, 2, 3, false},
 		{"index past n-1 is not a processor", []int{0, 5, 0}, 2, 3, false},
@@ -159,11 +167,10 @@ func TestRoundRobinAlwaysKBoundedProperty(t *testing.T) {
 
 // isKBoundedOracle is the original O(len·k) implementation: a fresh seen
 // set and full rescan per window start. Kept as the oracle the sliding
-// window implementation must agree with.
+// window implementation must agree with. The window scan alone defines
+// the semantics — there is deliberately no k < n shortcut, because a
+// schedule with no full window is vacuously bounded for every k.
 func isKBoundedOracle(schedule []int, n, k int) bool {
-	if k < n {
-		return false
-	}
 	for start := 0; start+k <= len(schedule); start++ {
 		seen := make([]bool, n)
 		count := 0
@@ -188,7 +195,11 @@ func TestIsKBoundedAgreesWithOracle(t *testing.T) {
 		n, k     int
 	}{
 		{nil, 1, 1},
+		{nil, 3, 2},
+		{nil, 2, 0},
 		{[]int{0}, 2, 5},
+		{[]int{0}, 3, 2},
+		{[]int{0, 1}, 3, 2},
 		{[]int{0, 1, 0, 1}, 2, 2},
 		{[]int{0, 1, 1, 0}, 2, 2},
 		{[]int{0, 7, 1}, 2, 3},

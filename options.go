@@ -96,6 +96,27 @@ type Options struct {
 	// Symmetry dedups model-checker states modulo the system's
 	// automorphism group.
 	Symmetry bool
+	// Epsilon and Delta configure the statistical checkers' stopping
+	// rule: sampling stops once the violation-probability estimate's
+	// two-sided confidence interval at level 1−Delta has half-width at
+	// most Epsilon (zero values mean the engine defaults, 0.01 / 0.05).
+	Epsilon float64
+	Delta   float64
+	// MaxSamples caps statistical trials below the Okamoto bound
+	// (0 = let the bound decide); a capped run is reported partial.
+	MaxSamples int
+	// Depth bounds each sampled run's scheduler slots (0 = engine
+	// default, 1024).
+	Depth int
+	// FaultClasses names the seeded fault classes injected into sampled
+	// runs ("crash", "stall", "lockdrop", comma-separated; "" injects
+	// nothing). Per-trial stream seeds are derived from each trial's
+	// sample seed, so trials stay i.i.d.
+	FaultClasses string
+	// SchedKind picks the sampled schedule generator: "uniform"
+	// (default; fair with probability 1, unbounded) or "shuffled"
+	// ((2n-1)-bounded fair, one random permutation per round).
+	SchedKind string
 }
 
 // Option mutates Options; see With*.
@@ -147,6 +168,33 @@ func WithSeed(seed int64) Option { return func(o *Options) { o.Seed = seed } }
 // WithSymmetry toggles automorphism-quotient state deduplication in the
 // model checker.
 func WithSymmetry(on bool) Option { return func(o *Options) { o.Symmetry = on } }
+
+// WithConfidence sets the statistical checkers' stopping rule: sample
+// until the violation-probability estimate is within epsilon of the
+// truth with confidence 1−delta. Zero values keep the engine defaults
+// (0.01 and 0.05).
+func WithConfidence(epsilon, delta float64) Option {
+	return func(o *Options) {
+		o.Epsilon = epsilon
+		o.Delta = delta
+	}
+}
+
+// WithSamples caps the number of statistical trials; a cap below the
+// Okamoto bound yields a partial report with a wider interval.
+func WithSamples(max int) Option { return func(o *Options) { o.MaxSamples = max } }
+
+// WithDepth bounds each sampled run's scheduler slots.
+func WithDepth(slots int) Option { return func(o *Options) { o.Depth = slots } }
+
+// WithFaults enables seeded fault injection in sampled runs: classes is
+// a comma-separated subset of "crash", "stall", "lockdrop" with the CLI
+// flags' default rates.
+func WithFaults(classes string) Option { return func(o *Options) { o.FaultClasses = classes } }
+
+// WithScheduleKind picks the sampled schedule generator: "uniform" or
+// "shuffled".
+func WithScheduleKind(kind string) Option { return func(o *Options) { o.SchedKind = kind } }
 
 func buildOptions(opts []Option) Options {
 	var o Options
