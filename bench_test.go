@@ -164,7 +164,7 @@ func BenchmarkSelectQ(b *testing.B) {
 	sys.ProcInit[0] = "leader"
 	b.ReportAllocs()
 	for i := 0; i < b.N; i++ {
-		prog, _, err := simsym.BuildSelect(sys, simsym.InstrQ, simsym.SchedFair)
+		prog, _, err := simsym.BuildSelectOpts(sys, simsym.InstrQ, simsym.SchedFair)
 		if err != nil {
 			b.Fatal(err)
 		}
@@ -189,7 +189,7 @@ func BenchmarkSelectQ(b *testing.B) {
 // election) on Figure 1.
 func BenchmarkSelectL(b *testing.B) {
 	sys := simsym.Fig1()
-	prog, _, err := simsym.BuildSelect(sys, simsym.InstrL, simsym.SchedFair)
+	prog, _, err := simsym.BuildSelectOpts(sys, simsym.InstrL, simsym.SchedFair)
 	if err != nil {
 		b.Fatal(err)
 	}

@@ -19,9 +19,9 @@
 // Quick start:
 //
 //	sys, _ := simsym.Ring(5)
-//	lab, _ := simsym.Similarity(sys, simsym.RuleQ)
+//	lab, _ := simsym.SimilarityOpts(sys, simsym.RuleQ)
 //	fmt.Println(lab)                       // one class: all similar
-//	d, _ := simsym.Decide(sys, simsym.InstrL, simsym.SchedFair)
+//	d, _ := simsym.DecideOpts(sys, simsym.InstrL, simsym.SchedFair)
 //	fmt.Println(d.Solvable, d.Reason)      // false: rings stay anonymous
 //
 // # Options and observability
@@ -68,22 +68,30 @@
 // harness. Unlike CheckOpts this is never a proof — Safe means "no
 // sampled run violated", qualified by the confidence interval.
 //
+// # Shared run configuration
+//
+// The knobs behind the functional options live in one JSON-taggable
+// struct, RunConfig, shared verbatim with the simsymd daemon's
+// session-create endpoint — a config that drives CheckOpts locally is
+// the same document a session carries over HTTP:
+//
+//	cfg := simsym.RunConfig{MaxStates: 500_000, Workers: 4, Symmetry: true}
+//	rep, err := simsym.CheckOpts(sys, instr, prog, simsym.WithConfig(cfg))
+//
 // # Migrating from the positional API
 //
-// The original positional functions remain and now delegate to the
-// options-based variants, so existing code keeps compiling and behaving
-// identically:
+// The deprecated positional wrappers from earlier releases — Similarity,
+// Decide, BuildSelect, CheckSelectionSafety, CheckDining — have been
+// removed. Each has a drop-in options-based replacement:
 //
-//	lab, err := simsym.Similarity(sys, simsym.RuleQ)
-//	// is exactly
-//	lab, err := simsym.SimilarityOpts(sys, simsym.RuleQ)
+//	simsym.Similarity(sys, rule)        →  simsym.SimilarityOpts(sys, rule)
+//	simsym.Decide(sys, instr, sch)      →  simsym.DecideOpts(sys, instr, sch)
+//	simsym.BuildSelect(sys, instr, sch) →  simsym.BuildSelectOpts(sys, instr, sch)
 //
-//	d, err := simsym.Decide(sys, instr, sch)
-//	// is exactly
-//	d, err := simsym.DecideOpts(sys, instr, sch)
+// The two checkers return richer reports instead of bare booleans:
 //
 //	safe, complete, err := simsym.CheckSelectionSafety(sys, instr, prog, 100_000)
-//	// becomes the richer
+//	// becomes
 //	rep, err := simsym.CheckOpts(sys, instr, prog, simsym.WithMaxStates(100_000))
 //	// with safe == rep.Safe, complete == rep.Complete, plus the witness
 //	// schedule, the exhausted budget, and the engine statistics.

@@ -33,12 +33,12 @@ func ExampleDecideOpts() {
 	// refine rounds counted: true
 }
 
-// CheckOpts subsumes the deprecated CheckSelectionSafety: budgets,
-// symmetry reduction, and parallelism ride in through options, and the
-// report carries the witness schedule and engine statistics.
+// CheckOpts is the one safety-check entry point: budgets, symmetry
+// reduction, and parallelism ride in through options, and the report
+// carries the witness schedule and engine statistics.
 func ExampleCheckOpts() {
 	sys := simsym.Fig1()
-	prog, _, err := simsym.BuildSelect(sys, simsym.InstrL, simsym.SchedFair)
+	prog, _, err := simsym.BuildSelectOpts(sys, simsym.InstrL, simsym.SchedFair)
 	if err != nil {
 		panic(err)
 	}

@@ -34,7 +34,7 @@ func run() error {
 	}
 	fmt.Printf("Figure 4 (5 philosophers): |Aut|=%d, philosopher orbits=%d\n",
 		orb.GroupOrder, len(orb.ProcClasses()))
-	d, err := simsym.Decide(five, simsym.InstrL, simsym.SchedFair)
+	d, err := simsym.DecideOpts(five, simsym.InstrL, simsym.SchedFair)
 	if err != nil {
 		return err
 	}
@@ -70,7 +70,7 @@ func run() error {
 	fmt.Printf("\nFigure 5 (6 flipped): |Aut|=%d, philosopher orbits=%d, fork orbits=%d\n",
 		orb6.GroupOrder, len(orb6.ProcClasses()), len(orb6.VarClasses()))
 
-	rep, err := simsym.CheckDining(six, prog, 60_000)
+	rep, err := simsym.CheckDiningOpts(six, prog, simsym.WithMaxStates(60_000))
 	if err != nil {
 		return err
 	}

@@ -31,7 +31,7 @@ func run() error {
 	}
 	fmt.Printf("Fig1 relabel versions (the paper's VERSIONS): %v\n", versions)
 
-	prog, d, err := simsym.BuildSelect(sys, simsym.InstrL, simsym.SchedFair)
+	prog, d, err := simsym.BuildSelectOpts(sys, simsym.InstrL, simsym.SchedFair)
 	if err != nil {
 		return err
 	}
@@ -50,18 +50,18 @@ func run() error {
 	}
 	fmt.Println("Algorithm 4 winner:", m.SelectedProcs())
 
-	safe, complete, err := simsym.CheckSelectionSafety(sys, simsym.InstrL, prog, 600_000)
+	chk, err := simsym.CheckOpts(sys, simsym.InstrL, prog, simsym.WithMaxStates(600_000))
 	if err != nil {
 		return err
 	}
-	fmt.Printf("model-checked over all schedules: safe=%v complete=%v\n", safe, complete)
+	fmt.Printf("model-checked over all schedules: safe=%v complete=%v\n", chk.Safe, chk.Complete)
 
 	// --- Rings: deterministic impossibility, randomized escape ---
 	ring, err := simsym.Ring(8)
 	if err != nil {
 		return err
 	}
-	dRing, err := simsym.Decide(ring, simsym.InstrL, simsym.SchedFair)
+	dRing, err := simsym.DecideOpts(ring, simsym.InstrL, simsym.SchedFair)
 	if err != nil {
 		return err
 	}

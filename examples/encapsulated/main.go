@@ -30,7 +30,7 @@ func run() error {
 	if err != nil {
 		return err
 	}
-	lab, err := simsym.Similarity(sym, simsym.RuleQ)
+	lab, err := simsym.SimilarityOpts(sym, simsym.RuleQ)
 	if err != nil {
 		return err
 	}
@@ -45,7 +45,7 @@ func run() error {
 	if err != nil {
 		return err
 	}
-	labO, err := simsym.Similarity(oriented, simsym.RuleQ)
+	labO, err := simsym.SimilarityOpts(oriented, simsym.RuleQ)
 	if err != nil {
 		return err
 	}

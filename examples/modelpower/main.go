@@ -41,7 +41,7 @@ func run() error {
 			{simsym.InstrS, simsym.SchedBoundedFair},
 			{simsym.InstrS, simsym.SchedFair},
 		} {
-			d, err := simsym.Decide(w.sys, model.instr, model.sched)
+			d, err := simsym.DecideOpts(w.sys, model.instr, model.sched)
 			if err != nil {
 				return err
 			}
@@ -60,11 +60,11 @@ func run() error {
 	// The labeling-level face of the same fact: the set-rule labeling is
 	// always a coarsening of the counting-rule labeling.
 	sys := simsym.Fig2()
-	q, err := simsym.Similarity(sys, simsym.RuleQ)
+	q, err := simsym.SimilarityOpts(sys, simsym.RuleQ)
 	if err != nil {
 		return err
 	}
-	s, err := simsym.Similarity(sys, simsym.RuleSetS)
+	s, err := simsym.SimilarityOpts(sys, simsym.RuleSetS)
 	if err != nil {
 		return err
 	}

@@ -23,7 +23,7 @@ func run() error {
 	if err != nil {
 		return err
 	}
-	lab, err := simsym.Similarity(ring, simsym.RuleQ)
+	lab, err := simsym.SimilarityOpts(ring, simsym.RuleQ)
 	if err != nil {
 		return err
 	}
@@ -37,7 +37,7 @@ func run() error {
 		{"L/fair", simsym.InstrL, simsym.SchedFair},
 		{"S/bounded-fair", simsym.InstrS, simsym.SchedBoundedFair},
 	} {
-		d, err := simsym.Decide(ring, model.instr, model.sched)
+		d, err := simsym.DecideOpts(ring, model.instr, model.sched)
 		if err != nil {
 			return err
 		}
@@ -49,13 +49,13 @@ func run() error {
 	// trivial to decide — and runnable.
 	marked := ring.Clone()
 	marked.ProcInit[0] = "leader"
-	lab, err = simsym.Similarity(marked, simsym.RuleQ)
+	lab, err = simsym.SimilarityOpts(marked, simsym.RuleQ)
 	if err != nil {
 		return err
 	}
 	fmt.Println("\nmarked ring(5): ", lab)
 
-	prog, d, err := simsym.BuildSelect(marked, simsym.InstrQ, simsym.SchedFair)
+	prog, d, err := simsym.BuildSelectOpts(marked, simsym.InstrQ, simsym.SchedFair)
 	if err != nil {
 		return err
 	}

@@ -130,6 +130,33 @@ const defaultMaxSlots = 10000
 // replayable record. Violations end the run but are not errors; err is
 // reserved for broken configurations (bad system, illegal instruction).
 func (h *Harness) Run() (*Result, error) {
+	e, err := h.Start()
+	if err != nil {
+		return nil, err
+	}
+	if _, err := e.Advance(e.budget); err != nil {
+		return nil, err
+	}
+	return e.Finalize(), nil
+}
+
+// Exec is an in-flight harness run that can be advanced a bounded number
+// of slots at a time — the incremental form of Run that simsymd sessions
+// step on demand. The sequence Start → Advance(budget) → Finalize is
+// exactly Run: the schedule trace, fault log, predicate checks, and obs
+// event stream are identical however the slots are portioned out.
+// An Exec is not safe for concurrent use.
+type Exec struct {
+	h        *Harness
+	m        *machine.Machine
+	res      *Result
+	budget   int // overall MaxSlots budget, fixed at Start
+	finished bool
+	final    bool // Finalize ran
+}
+
+// Start builds the machine and begins a run without advancing it.
+func (h *Harness) Start() (*Exec, error) {
 	m, err := machine.New(h.Sys, h.Instr, h.Prog)
 	if err != nil {
 		return nil, err
@@ -138,47 +165,66 @@ func (h *Harness) Run() (*Result, error) {
 	if budget <= 0 {
 		budget = defaultMaxSlots
 	}
-	res := &Result{}
 	h.Obs.PhaseStart("harness.run")
-	finish := func() (*Result, error) {
-		res.Halted = m.AllHalted()
-		if !res.Done && res.Violation == nil && h.Done != nil {
-			res.Done = h.Done(m)
+	return &Exec{h: h, m: m, res: &Result{}, budget: budget}, nil
+}
+
+// Finished reports whether the run has ended (convergence, budget
+// exhaustion, scheduler end, or violation) and further Advance calls
+// will consume no slots.
+func (e *Exec) Finished() bool { return e.finished }
+
+// Slots returns the schedule slots consumed so far.
+func (e *Exec) Slots() int { return e.res.Slots }
+
+// Steps returns the steps actually executed so far.
+func (e *Exec) Steps() int { return e.res.Steps }
+
+// Violation returns the first invariant breach, or nil.
+func (e *Exec) Violation() *Violation { return e.res.Violation }
+
+// Machine exposes the live machine for read-only inspection between
+// Advance calls (selected set, meal counts, halt flags).
+func (e *Exec) Machine() *machine.Machine { return e.m }
+
+// Trace exposes the schedule prefix consumed so far. The slice is the
+// live record — callers must copy before mutating.
+func (e *Exec) Trace() []int { return e.res.Schedule }
+
+// FaultLog exposes the fault events fired so far. The slice is the live
+// record — callers must copy before mutating.
+func (e *Exec) FaultLog() []Event { return e.res.FaultLog }
+
+// Advance consumes up to maxSlots further schedule slots, stopping early
+// at convergence, overall budget exhaustion, scheduler end, or first
+// violation. It reports whether the run has ended; err is reserved for
+// broken configurations, which also end the run.
+func (e *Exec) Advance(maxSlots int) (finished bool, err error) {
+	h, m, res := e.h, e.m, e.res
+	consumed := 0
+	for !e.finished && consumed < maxSlots {
+		if res.Slots >= e.budget {
+			e.finished = true
+			break
 		}
-		res.Fingerprint = m.Fingerprint()
-		res.Final = m
-		if h.Obs.Enabled() {
-			h.Obs.Count("harness.runs", 1)
-			h.Obs.Count("harness.slots", int64(res.Slots))
-			h.Obs.Count("harness.steps", int64(res.Steps))
-			h.Obs.Count("harness.faults", int64(len(res.FaultLog)))
-			detail := "converged"
-			switch {
-			case res.Violation != nil:
-				detail = res.Violation.Reason
-			case !res.Done:
-				detail = "run ended without convergence"
-			}
-			h.Obs.Verdict("harness.run", res.Violation == nil, detail)
-			h.Obs.PhaseEnd("harness.run", int64(res.Slots))
-		}
-		return res, nil
-	}
-	for res.Slots < budget {
 		if h.Done != nil && h.Done(m) {
 			res.Done = true
+			e.finished = true
 			break
 		}
 		if m.AllHalted() {
+			e.finished = true
 			break
 		}
 		pick, ok := h.Sched.Next(m)
 		if !ok {
+			e.finished = true
 			break
 		}
 		slot := res.Slots
 		res.Schedule = append(res.Schedule, pick)
 		res.Slots++
+		consumed++
 		skip := false
 		if h.Faults != nil {
 			var evs []Event
@@ -192,7 +238,8 @@ func (h *Harness) Run() (*Result, error) {
 				}
 				if v := h.checkState(m, slot, res.Steps); v != nil {
 					res.Violation = v
-					return finish()
+					e.finished = true
+					return true, nil
 				}
 			}
 		}
@@ -206,7 +253,8 @@ func (h *Harness) Run() (*Result, error) {
 		}
 		stepped, err := m.StepOrSkip(pick)
 		if err != nil {
-			return nil, err
+			e.finished = true
+			return true, err
 		}
 		h.Obs.SchedStep(slot, pick, stepped)
 		if !stepped {
@@ -215,22 +263,62 @@ func (h *Harness) Run() (*Result, error) {
 		res.Steps++
 		if v := h.checkState(m, slot, res.Steps); v != nil {
 			res.Violation = v
-			return finish()
+			e.finished = true
+			return true, nil
 		}
 		for _, pred := range h.ProcPreds {
 			if msg := pred(m, pick); msg != "" {
 				res.Violation = &Violation{Slot: slot, Step: res.Steps, Reason: msg}
-				return finish()
+				e.finished = true
+				return true, nil
 			}
 		}
 		for _, pred := range h.TransPreds {
 			if msg := pred(before, m, pick); msg != "" {
 				res.Violation = &Violation{Slot: slot, Step: res.Steps, Reason: msg}
-				return finish()
+				e.finished = true
+				return true, nil
 			}
 		}
 	}
-	return finish()
+	if !e.finished && res.Slots >= e.budget {
+		e.finished = true
+	}
+	return e.finished, nil
+}
+
+// Finalize ends the run, fills the outcome fields (Done, Halted,
+// Fingerprint, Final), emits the closing obs events, and returns the
+// replayable record. Idempotent; Advance after Finalize is a no-op.
+func (e *Exec) Finalize() *Result {
+	h, m, res := e.h, e.m, e.res
+	e.finished = true
+	if e.final {
+		return res
+	}
+	e.final = true
+	res.Halted = m.AllHalted()
+	if !res.Done && res.Violation == nil && h.Done != nil {
+		res.Done = h.Done(m)
+	}
+	res.Fingerprint = m.Fingerprint()
+	res.Final = m
+	if h.Obs.Enabled() {
+		h.Obs.Count("harness.runs", 1)
+		h.Obs.Count("harness.slots", int64(res.Slots))
+		h.Obs.Count("harness.steps", int64(res.Steps))
+		h.Obs.Count("harness.faults", int64(len(res.FaultLog)))
+		detail := "converged"
+		switch {
+		case res.Violation != nil:
+			detail = res.Violation.Reason
+		case !res.Done:
+			detail = "run ended without convergence"
+		}
+		h.Obs.Verdict("harness.run", res.Violation == nil, detail)
+		h.Obs.PhaseEnd("harness.run", int64(res.Slots))
+	}
+	return res
 }
 
 func (h *Harness) checkState(m *machine.Machine, slot, step int) *Violation {

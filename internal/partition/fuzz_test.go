@@ -1,0 +1,67 @@
+package partition
+
+import (
+	"fmt"
+	"testing"
+)
+
+// dfaFromBytes decodes an arbitrary byte string into a small DFA over a
+// two-symbol alphabet: byte 0 sizes the machine, then each state reads
+// three bytes (accept bit, two successor indices mod n). Every input
+// decodes to a valid structure so the fuzzer explores shapes, not
+// parser rejections.
+func dfaFromBytes(data []byte) *dfa {
+	if len(data) == 0 {
+		data = []byte{0}
+	}
+	n := 2 + int(data[0])%62
+	data = data[1:]
+	at := func(i int) byte {
+		if len(data) == 0 {
+			return 0
+		}
+		return data[i%len(data)]
+	}
+	accept := make([]bool, n)
+	next := make([][]int, n)
+	for s := 0; s < n; s++ {
+		accept[s] = at(3*s)&1 == 1
+		next[s] = []int{int(at(3*s+1)) % n, int(at(3*s+2)) % n}
+	}
+	return newDFA(accept, next)
+}
+
+// FuzzInternedSignatures cross-checks the interned token signature path
+// against the string-signature fallback and the naive refinement
+// oracle on fuzzer-shaped DFAs: the worklist driver must produce
+// label-for-label identical partitions through both encodings, and the
+// relation must match FixpointNaive.
+func FuzzInternedSignatures(f *testing.F) {
+	f.Add([]byte{0})
+	f.Add([]byte{3, 1, 0, 1, 0, 2, 2, 1, 1, 0})
+	f.Add([]byte{61, 0xff, 0x00, 0xaa, 0x55, 7, 9, 11, 13})
+	f.Add([]byte("partition refinement is dfa minimization"))
+	f.Fuzz(func(t *testing.T, data []byte) {
+		d := dfaFromBytes(data)
+		tok, err := FixpointWorklist(d)
+		if err != nil {
+			t.Fatalf("token path: %v", err)
+		}
+		str, err := FixpointWorklist(stringOnlyDFA{d: d})
+		if err != nil {
+			t.Fatalf("string path: %v", err)
+		}
+		if fmt.Sprint(tok.Labels()) != fmt.Sprint(str.Labels()) {
+			t.Fatalf("token labels %v != string labels %v (n=%d)",
+				tok.Labels(), str.Labels(), d.Len())
+		}
+		oracle, err := FixpointNaive(d)
+		if err != nil {
+			t.Fatalf("naive oracle: %v", err)
+		}
+		if !SameRelation(tok, oracle) {
+			t.Fatalf("interned relation %v differs from naive oracle %v (n=%d)",
+				tok.Labels(), oracle.Labels(), d.Len())
+		}
+	})
+}

@@ -1,0 +1,43 @@
+package sched
+
+import "testing"
+
+// FuzzIsKBounded cross-checks the sliding-window IsKBounded against the
+// quadratic every-window oracle. The decoder keeps every input valid:
+// two bytes size n and k, the rest become schedule slots shifted by -2
+// so out-of-range entries (negative and >= n) are always in play —
+// both implementations must ignore them identically.
+func FuzzIsKBounded(f *testing.F) {
+	f.Add([]byte{})
+	f.Add([]byte{2, 3, 2, 3, 4, 2, 3, 4})
+	f.Add([]byte{0, 0, 0})
+	f.Add([]byte{7, 63, 1, 2, 3, 4, 5, 6, 7, 8, 9, 250, 0})
+	f.Add([]byte("round robin is 1-bounded per processor"))
+	f.Fuzz(func(t *testing.T, data []byte) {
+		n, k := 1, 1
+		if len(data) > 0 {
+			n = 1 + int(data[0])%8
+		}
+		if len(data) > 1 {
+			k = 1 + int(data[1])%64
+		}
+		if len(data) > 2 {
+			data = data[2:]
+		} else {
+			data = nil
+		}
+		if len(data) > 256 {
+			data = data[:256]
+		}
+		schedule := make([]int, len(data))
+		for i, b := range data {
+			schedule[i] = int(b) - 2
+		}
+		got := IsKBounded(schedule, n, k)
+		want := isKBoundedOracle(schedule, n, k)
+		if got != want {
+			t.Fatalf("IsKBounded(len=%d, n=%d, k=%d) = %v, oracle %v\nschedule: %v",
+				len(schedule), n, k, got, want, schedule)
+		}
+	})
+}

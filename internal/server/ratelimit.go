@@ -1,0 +1,53 @@
+package server
+
+import (
+	"sync"
+	"time"
+)
+
+// limiter is a per-tenant token-bucket rate limiter. Buckets are
+// interned on first use and refill continuously at rate tokens/second up
+// to burst; one request costs one token. The clock is injected so tests
+// can drive refills deterministically.
+type limiter struct {
+	rate  float64
+	burst float64
+	now   func() time.Time
+
+	mu      sync.Mutex
+	buckets map[string]*bucket
+}
+
+type bucket struct {
+	tokens float64
+	last   time.Time
+}
+
+func newLimiter(rate, burst float64, now func() time.Time) *limiter {
+	return &limiter{rate: rate, burst: burst, now: now, buckets: make(map[string]*bucket)}
+}
+
+// allow charges one token from tenant's bucket, reporting whether the
+// request may proceed.
+func (l *limiter) allow(tenant string) bool {
+	t := l.now()
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	b, ok := l.buckets[tenant]
+	if !ok {
+		b = &bucket{tokens: l.burst, last: t}
+		l.buckets[tenant] = b
+	}
+	if dt := t.Sub(b.last).Seconds(); dt > 0 {
+		b.tokens += dt * l.rate
+		if b.tokens > l.burst {
+			b.tokens = l.burst
+		}
+	}
+	b.last = t
+	if b.tokens < 1 {
+		return false
+	}
+	b.tokens--
+	return true
+}

@@ -1,0 +1,250 @@
+package server
+
+import (
+	"fmt"
+	"math/rand"
+	"strings"
+
+	"simsym/internal/adversary"
+	"simsym/internal/runcfg"
+	"simsym/internal/sysdsl"
+	"simsym/internal/system"
+)
+
+// SessionConfig is the JSON body of a session-create request. Its Config
+// field is the same runcfg.Common vocabulary the facade's functional
+// options build (simsym.RunConfig), so a daemon request and a Go option
+// list spell the shared knobs identically; the fields around it name
+// what the facade takes as positional arguments: the topology and the
+// hosted algorithm.
+type SessionConfig struct {
+	// Topology is a sysdsl description or generator directive
+	// ("gen dining 5", "gen fig2", or a full names/var/proc listing).
+	Topology string `json:"topology"`
+	// Kind selects the hosted algorithm: "select" runs the paper's
+	// SELECT program under Uniqueness+Stability invariants, "dining"
+	// the fork-grabbing philosopher program under exclusion.
+	Kind string `json:"kind"`
+	// Instr picks the instruction set for "select" sessions: "s", "l",
+	// or "q" (default "q").
+	Instr string `json:"instr,omitempty"`
+	// SchedClass picks the schedule class for "select" sessions:
+	// "general", "fair" (default), or "bounded".
+	SchedClass string `json:"sched_class,omitempty"`
+	// Meals is the per-philosopher meal target for "dining" sessions
+	// (default 2).
+	Meals int `json:"meals,omitempty"`
+	// Tenant attributes the session to a rate-limit bucket; empty is the
+	// anonymous tenant.
+	Tenant string `json:"tenant,omitempty"`
+	// Config carries the shared run options; the session consumes Seed
+	// (schedule and fault streams), SchedKind ("uniform" default,
+	// "shuffled"), FaultClasses, and MaxSlots (overall slot budget).
+	Config runcfg.Common `json:"config"`
+}
+
+// session is one hosted VM run. All fields are owned by the shard
+// goroutine the session hashes to; nothing here is locked.
+type session struct {
+	id     string
+	tenant string
+	cfg    SessionConfig
+	sys    *system.System
+	h      *adversary.Harness
+	exec   *adversary.Exec
+	res    *adversary.Result // set once finalized
+
+	// Per-session SLO counters, reported by inspect and folded into the
+	// registry-wide histograms as the shard applies batches.
+	slots   int
+	steps   int
+	batches int
+	counted bool // finish counters recorded in the registry
+}
+
+// newSession validates cfg, builds the topology and harness through the
+// same constructors the facade and CLIs use, and starts the run.
+func newSession(id string, cfg SessionConfig) (*session, error) {
+	if strings.TrimSpace(cfg.Topology) == "" {
+		return nil, fmt.Errorf("%w: empty topology", ErrBadSession)
+	}
+	sys, err := sysdsl.Parse(cfg.Topology)
+	if err != nil {
+		return nil, fmt.Errorf("%w: topology: %v", ErrBadSession, err)
+	}
+	var h *adversary.Harness
+	switch cfg.Kind {
+	case "select":
+		instr, err := parseInstr(cfg.Instr)
+		if err != nil {
+			return nil, err
+		}
+		sc, err := parseSchedClass(cfg.SchedClass)
+		if err != nil {
+			return nil, err
+		}
+		h, err = adversary.NewSelectHarness(sys, instr, sc, nil)
+		if err != nil {
+			return nil, fmt.Errorf("%w: %v", ErrBadSession, err)
+		}
+	case "dining":
+		meals := cfg.Meals
+		if meals <= 0 {
+			meals = 2
+		}
+		h, err = adversary.NewDiningHarness(sys, meals, nil)
+		if err != nil {
+			return nil, fmt.Errorf("%w: %v", ErrBadSession, err)
+		}
+	default:
+		return nil, fmt.Errorf("%w: unknown kind %q (want select or dining)", ErrBadSession, cfg.Kind)
+	}
+
+	rng := rand.New(rand.NewSource(cfg.Config.Seed))
+	switch cfg.Config.SchedKind {
+	case "", "uniform":
+		h.Sched = adversary.Uniform(rng, sys.NumProcs())
+	case "shuffled":
+		h.Sched = adversary.Shuffled(rng, sys.NumProcs())
+	default:
+		return nil, fmt.Errorf("%w: unknown sched kind %q (want uniform or shuffled)", ErrBadSession, cfg.Config.SchedKind)
+	}
+	if cfg.Config.FaultClasses != "" {
+		spec, err := adversary.ParseSpec(cfg.Config.FaultClasses, cfg.Config.Seed)
+		if err != nil {
+			return nil, fmt.Errorf("%w: %v", ErrBadSession, err)
+		}
+		// Offset the per-class streams from the schedule stream exactly
+		// like the statistical checkers, so a session trace and a
+		// same-seed statistical trial draw identical fault sequences.
+		spec.CrashSeed, spec.StallSeed, spec.DropSeed = cfg.Config.Seed+1, cfg.Config.Seed+2, cfg.Config.Seed+3
+		h.Faults = adversary.NewFaults(spec, sys.NumProcs(), sys.NumVars())
+	}
+	if cfg.Config.MaxSlots > 0 {
+		h.MaxSlots = cfg.Config.MaxSlots
+	}
+
+	exec, err := h.Start()
+	if err != nil {
+		return nil, fmt.Errorf("%w: %v", ErrBadSession, err)
+	}
+	return &session{id: id, tenant: cfg.Tenant, cfg: cfg, sys: sys, h: h, exec: exec}, nil
+}
+
+// advance consumes up to maxSlots further slots and finalizes the run
+// when it ends. It returns the slots actually consumed.
+func (s *session) advance(maxSlots int) (consumed int, err error) {
+	if s.res != nil {
+		return 0, nil
+	}
+	before := s.exec.Slots()
+	finished, err := s.exec.Advance(maxSlots)
+	consumed = s.exec.Slots() - before
+	s.slots = s.exec.Slots()
+	s.steps = s.exec.Steps()
+	s.batches++
+	if err != nil {
+		s.res = s.exec.Finalize()
+		return consumed, err
+	}
+	if finished {
+		s.res = s.exec.Finalize()
+	}
+	return consumed, nil
+}
+
+// runToEnd drives the session to its overall budget.
+func (s *session) runToEnd() error {
+	for s.res == nil {
+		if _, err := s.advance(1 << 14); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// Snapshot is the JSON view of a session's state, returned by every
+// step/run/inspect/delete reply.
+type Snapshot struct {
+	ID       string `json:"id"`
+	Tenant   string `json:"tenant,omitempty"`
+	Kind     string `json:"kind"`
+	Procs    int    `json:"procs"`
+	Slots    int    `json:"slots"`
+	Steps    int    `json:"steps"`
+	Batches  int    `json:"batches"`
+	Finished bool   `json:"finished"`
+	Done     bool   `json:"done"`
+	Halted   bool   `json:"halted"`
+	// Violation is the first invariant breach's message ("" while clean).
+	Violation string `json:"violation,omitempty"`
+	// Fingerprint identifies the final machine state (set once finished).
+	Fingerprint string `json:"fingerprint,omitempty"`
+	// Schedule and Faults are the replayable trace, included only when
+	// the caller asked for it (inspect ?trace=1).
+	Schedule []int    `json:"schedule,omitempty"`
+	Faults   []string `json:"faults,omitempty"`
+}
+
+func (s *session) snapshot(withTrace bool) Snapshot {
+	snap := Snapshot{
+		ID:      s.id,
+		Tenant:  s.tenant,
+		Kind:    s.cfg.Kind,
+		Procs:   s.sys.NumProcs(),
+		Slots:   s.exec.Slots(),
+		Steps:   s.exec.Steps(),
+		Batches: s.batches,
+	}
+	if v := s.exec.Violation(); v != nil {
+		snap.Violation = v.Reason
+	}
+	if s.res != nil {
+		snap.Finished = true
+		snap.Done = s.res.Done
+		snap.Halted = s.res.Halted
+		snap.Fingerprint = s.res.Fingerprint
+	}
+	if withTrace {
+		res := s.res
+		if res == nil {
+			// Mid-run inspect: the exec's live record has the prefix.
+			snap.Schedule = append([]int(nil), s.exec.Trace()...)
+			for _, ev := range s.exec.FaultLog() {
+				snap.Faults = append(snap.Faults, ev.String())
+			}
+		} else {
+			snap.Schedule = append([]int(nil), res.Schedule...)
+			for _, ev := range res.FaultLog {
+				snap.Faults = append(snap.Faults, ev.String())
+			}
+		}
+	}
+	return snap
+}
+
+func parseInstr(s string) (system.InstrSet, error) {
+	switch s {
+	case "", "q":
+		return system.InstrQ, nil
+	case "s":
+		return system.InstrS, nil
+	case "l":
+		return system.InstrL, nil
+	default:
+		return 0, fmt.Errorf("%w: unknown instruction set %q (want s, l, or q)", ErrBadSession, s)
+	}
+}
+
+func parseSchedClass(s string) (system.ScheduleClass, error) {
+	switch s {
+	case "", "fair":
+		return system.SchedFair, nil
+	case "general":
+		return system.SchedGeneral, nil
+	case "bounded":
+		return system.SchedBoundedFair, nil
+	default:
+		return 0, fmt.Errorf("%w: unknown schedule class %q (want general, fair, or bounded)", ErrBadSession, s)
+	}
+}

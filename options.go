@@ -12,6 +12,7 @@ import (
 	"simsym/internal/machine"
 	"simsym/internal/mc"
 	"simsym/internal/obs"
+	"simsym/internal/runcfg"
 	"simsym/internal/sched"
 	"simsym/internal/selection"
 )
@@ -59,68 +60,44 @@ func MultiSink(sinks ...EventSink) EventSink { return obs.Multi(sinks...) }
 // ReadJSONL decodes an event stream written by a JSONLSink.
 func ReadJSONL(r io.Reader) ([]ObsEvent, error) { return obs.ReadJSONL(r) }
 
+// RunConfig is the serializable option set shared by the options-based
+// entry points and the simsymd daemon's session API: budgets, workers,
+// sharding and spill, seed, symmetry reduction, the statistical stopping
+// rule, fault classes, and the schedule kind. Its JSON form is exactly
+// the "config" object a simsymd session-create request carries, so
+// daemon configs and Go options are one vocabulary. Apply a whole
+// RunConfig at once with WithConfig, or set individual fields through
+// the With* option constructors, which are thin aliases onto its fields.
+type RunConfig = runcfg.Common
+
+// ConfigDuration is RunConfig's duration type: a time.Duration that
+// JSON-marshals as a Go duration string ("30s") and unmarshals from that
+// form or bare nanoseconds.
+type ConfigDuration = runcfg.Duration
+
 // Options collects the cross-cutting knobs shared by the options-based
-// entry points. Build one implicitly by passing Option values; the zero
-// value means: background context, no observer, engine-default budgets,
-// sequential execution, seed 0, no symmetry reduction.
+// entry points: the serializable RunConfig plus the two process-local
+// knobs (context and observer) that cannot cross a daemon boundary.
+// Build one implicitly by passing Option values; the zero value means:
+// background context, no observer, engine-default budgets, sequential
+// execution, seed 0, no symmetry reduction.
 type Options struct {
+	// RunConfig holds every serializable knob; see its field docs.
+	RunConfig
 	// Ctx cancels long explorations; cancellation degrades into a
 	// partial result (Exhausted = "canceled"), never a panic.
 	Ctx context.Context
 	// Obs receives structured events and metrics; nil records nothing.
 	Obs *Recorder
-	// MaxStates bounds model-checker exploration (0 = engine default).
-	MaxStates int
-	// MaxDuration bounds wall-clock exploration time (0 = unbounded).
-	MaxDuration time.Duration
-	// MaxMemBytes bounds the checker's estimated footprint (0 = unbounded).
-	MaxMemBytes int64
-	// Workers > 1 parallelizes refinement collection and model-checker
-	// frontier expansion; results are identical to sequential runs.
-	Workers int
-	// Shards > 1 shards the model checker's visited-state index by key
-	// hash and runs each BFS level as a staged pipeline (parallel
-	// expansion and staging, canonical-order commit); results stay
-	// identical to sequential runs. Use for explorations beyond ~10⁷
-	// states, typically together with Workers.
-	Shards int
-	// HotIndexBytes > 0 caps the checker's in-memory key storage; colder
-	// key bytes spill to temp files under SpillDir and are read back
-	// transparently. 0 keeps everything resident.
-	HotIndexBytes int64
-	// SpillDir hosts the checker's spill files (os.TempDir() when
-	// empty); the files are removed when the check returns.
-	SpillDir string
-	// Seed drives the seeded randomness consumed by RunFair.
-	Seed int64
-	// Symmetry dedups model-checker states modulo the system's
-	// automorphism group.
-	Symmetry bool
-	// Epsilon and Delta configure the statistical checkers' stopping
-	// rule: sampling stops once the violation-probability estimate's
-	// two-sided confidence interval at level 1−Delta has half-width at
-	// most Epsilon (zero values mean the engine defaults, 0.01 / 0.05).
-	Epsilon float64
-	Delta   float64
-	// MaxSamples caps statistical trials below the Okamoto bound
-	// (0 = let the bound decide); a capped run is reported partial.
-	MaxSamples int
-	// Depth bounds each sampled run's scheduler slots (0 = engine
-	// default, 1024).
-	Depth int
-	// FaultClasses names the seeded fault classes injected into sampled
-	// runs ("crash", "stall", "lockdrop", comma-separated; "" injects
-	// nothing). Per-trial stream seeds are derived from each trial's
-	// sample seed, so trials stay i.i.d.
-	FaultClasses string
-	// SchedKind picks the sampled schedule generator: "uniform"
-	// (default; fair with probability 1, unbounded) or "shuffled"
-	// ((2n-1)-bounded fair, one random permutation per round).
-	SchedKind string
 }
 
 // Option mutates Options; see With*.
 type Option func(*Options)
+
+// WithConfig applies a whole RunConfig at once — the form a daemon
+// config file or a simsymd session request deserializes into. Later
+// options still override individual fields.
+func WithConfig(cfg RunConfig) Option { return func(o *Options) { o.RunConfig = cfg } }
 
 // WithContext cancels long-running work when ctx is done.
 func WithContext(ctx context.Context) Option { return func(o *Options) { o.Ctx = ctx } }
@@ -137,7 +114,7 @@ func WithMaxStates(n int) Option { return func(o *Options) { o.MaxStates = n } }
 func WithBudget(maxStates int, maxDuration time.Duration, maxMemBytes int64) Option {
 	return func(o *Options) {
 		o.MaxStates = maxStates
-		o.MaxDuration = maxDuration
+		o.MaxDuration = ConfigDuration(maxDuration)
 		o.MaxMemBytes = maxMemBytes
 	}
 }
@@ -210,7 +187,7 @@ func buildOptions(opts []Option) Options {
 func (o Options) mcOptions() mc.Options {
 	return mc.Options{
 		MaxStates:      o.MaxStates,
-		MaxDuration:    o.MaxDuration,
+		MaxDuration:    o.MaxDuration.Std(),
 		MaxMemBytes:    o.MaxMemBytes,
 		Workers:        o.Workers,
 		Shards:         o.Shards,
@@ -259,8 +236,7 @@ func BuildSelectOpts(sys *System, instr InstrSet, sch ScheduleClass, opts ...Opt
 // CheckStats re-exports the model checker's engine statistics.
 type CheckStats = mc.Stats
 
-// CheckReport is the full outcome of CheckOpts. It subsumes the
-// (safe, complete) pair of CheckSelectionSafety: Safe reports that no
+// CheckReport is the full outcome of CheckOpts: Safe reports that no
 // violation was found, Complete that the whole reachable space was
 // explored (making Safe a proof rather than bounded evidence).
 type CheckReport struct {

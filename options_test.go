@@ -25,10 +25,10 @@ func TestFacadeBadArgs(t *testing.T) {
 		{"DiningFlipped(2)", func() error { _, err := simsym.DiningFlipped(2); return err }},
 		{"DiningFlipped(5)", func() error { _, err := simsym.DiningFlipped(5); return err }},
 		{"Star(0)", func() error { _, err := simsym.Star(0); return err }},
-		{"Similarity(nil)", func() error { _, err := simsym.Similarity(nil, simsym.RuleQ); return err }},
+		{"Similarity(nil)", func() error { _, err := simsym.SimilarityOpts(nil, simsym.RuleQ); return err }},
 		{"SimilarityOpts(nil)", func() error { _, err := simsym.SimilarityOpts(nil, simsym.RuleQ); return err }},
-		{"Decide(nil)", func() error { _, err := simsym.Decide(nil, simsym.InstrQ, simsym.SchedFair); return err }},
-		{"BuildSelect(nil)", func() error { _, _, err := simsym.BuildSelect(nil, simsym.InstrQ, simsym.SchedFair); return err }},
+		{"Decide(nil)", func() error { _, err := simsym.DecideOpts(nil, simsym.InstrQ, simsym.SchedFair); return err }},
+		{"BuildSelect(nil)", func() error { _, _, err := simsym.BuildSelectOpts(nil, simsym.InstrQ, simsym.SchedFair); return err }},
 		{"NewMachine(nil sys)", func() error { _, err := simsym.NewMachine(nil, simsym.InstrQ, &simsym.Program{}); return err }},
 		{"ComputeOrbits(nil)", func() error { _, err := simsym.ComputeOrbits(nil); return err }},
 		{"MimicsNobody(nil)", func() error { _, err := simsym.MimicsNobody(nil); return err }},
@@ -39,22 +39,25 @@ func TestFacadeBadArgs(t *testing.T) {
 		{"RoundRobin(3, -1)", func() error { _, err := simsym.RoundRobin(3, -1); return err }},
 		{"WitnessSimilarity(rounds=0)", func() error {
 			sys := simsym.Fig1()
-			lab, err := simsym.Similarity(sys, simsym.RuleQ)
+			lab, err := simsym.SimilarityOpts(sys, simsym.RuleQ)
 			if err != nil {
 				return err
 			}
 			_, err = simsym.WitnessSimilarity(sys, simsym.InstrQ, &simsym.Program{}, lab, 0)
 			return err
 		}},
-		{"CheckSelectionSafety(nil prog)", func() error {
-			_, _, err := simsym.CheckSelectionSafety(simsym.Fig1(), simsym.InstrL, nil, 100)
+		{"CheckOpts(nil prog)", func() error {
+			_, err := simsym.CheckOpts(simsym.Fig1(), simsym.InstrL, nil, simsym.WithMaxStates(100))
 			return err
 		}},
 		{"CheckOpts(negative states)", func() error {
 			_, err := simsym.CheckOpts(simsym.Fig1(), simsym.InstrL, &simsym.Program{}, simsym.WithMaxStates(-1))
 			return err
 		}},
-		{"CheckDining(nil prog)", func() error { _, err := simsym.CheckDining(simsym.Fig1(), nil, 100); return err }},
+		{"CheckDiningOpts(nil prog)", func() error {
+			_, err := simsym.CheckDiningOpts(simsym.Fig1(), nil, simsym.WithMaxStates(100))
+			return err
+		}},
 		{"DiningProgram(meals=0)", func() error { _, err := simsym.DiningProgram("left", "right", 0); return err }},
 		{"DiningProgram(empty name)", func() error { _, err := simsym.DiningProgram("", "right", 1); return err }},
 		{"OrientedDiningTable(shape)", func() error { _, err := simsym.OrientedDiningTable(3, []bool{true}); return err }},
@@ -134,15 +137,12 @@ func TestDecideOptsEventKinds(t *testing.T) {
 	}
 }
 
-// TestCheckOptsSubsumesDeprecated: the deprecated positional wrapper and
-// the options variant agree, and the report carries strictly more.
-func TestCheckOptsSubsumesDeprecated(t *testing.T) {
+// TestCheckOptsReport: CheckOpts proves the Fig1 SELECT program safe
+// and its report carries the engine statistics the retired positional
+// wrapper could not surface.
+func TestCheckOptsReport(t *testing.T) {
 	sys := simsym.Fig1()
-	prog, _, err := simsym.BuildSelect(sys, simsym.InstrL, simsym.SchedFair)
-	if err != nil {
-		t.Fatal(err)
-	}
-	safe, complete, err := simsym.CheckSelectionSafety(sys, simsym.InstrL, prog, 100_000)
+	prog, _, err := simsym.BuildSelectOpts(sys, simsym.InstrL, simsym.SchedFair)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -150,9 +150,8 @@ func TestCheckOptsSubsumesDeprecated(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	if rep.Safe != safe || rep.Complete != complete {
-		t.Fatalf("CheckOpts (%v, %v) disagrees with CheckSelectionSafety (%v, %v)",
-			rep.Safe, rep.Complete, safe, complete)
+	if !rep.Safe {
+		t.Fatalf("Fig1 SELECT should verify safe within the budget: %+v", rep)
 	}
 	if rep.StatesExplored == 0 || rep.Stats.Transitions == 0 {
 		t.Errorf("report should carry engine stats: %+v", rep)
@@ -249,7 +248,7 @@ func TestCheckOptsShardedSpill(t *testing.T) {
 // TestRunFair: seed determinism and observer capture.
 func TestRunFair(t *testing.T) {
 	sys := simsym.Fig2()
-	prog, _, err := simsym.BuildSelect(sys, simsym.InstrQ, simsym.SchedFair)
+	prog, _, err := simsym.BuildSelectOpts(sys, simsym.InstrQ, simsym.SchedFair)
 	if err != nil {
 		t.Fatal(err)
 	}

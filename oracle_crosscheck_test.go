@@ -309,7 +309,7 @@ func TestOracleCrosscheckVerdicts(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	rep, err := simsym.CheckDining(dp4, forks, 1_000_000)
+	rep, err := simsym.CheckDiningOpts(dp4, forks, simsym.WithMaxStates(1_000_000))
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -338,17 +338,17 @@ func TestOracleCrosscheckVerdicts(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	safe, _, err := simsym.CheckSelectionSafety(simsym.Fig1(), simsym.InstrS, naive, 100_000)
+	naiveRep, err := simsym.CheckOpts(simsym.Fig1(), simsym.InstrS, naive, simsym.WithMaxStates(100_000))
 	if err != nil {
 		t.Fatal(err)
 	}
-	if safe {
+	if naiveRep.Safe {
 		t.Error("naive S selection must be flagged unsafe")
 	}
 
 	// L selection: the generated program picks exactly one winner, and
 	// the winner is a deterministic function of the schedule.
-	prog, dec, err := simsym.BuildSelect(simsym.Fig1(), simsym.InstrL, simsym.SchedGeneral)
+	prog, dec, err := simsym.BuildSelectOpts(simsym.Fig1(), simsym.InstrL, simsym.SchedGeneral)
 	if err != nil {
 		t.Fatal(err)
 	}

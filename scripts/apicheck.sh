@@ -1,33 +1,47 @@
 #!/bin/sh
-# apicheck.sh — guard the public API surface of package simsym.
+# apicheck.sh — guard the API surfaces downstream code and the daemon
+# depend on.
 #
-# Renders `go doc .` (the package documentation plus the one-line index
-# of every exported symbol) and diffs it against the checked-in baseline
-# at api/simsym.txt. Any accidental removal, rename, or signature change
-# of an exported symbol shows up as a diff and fails CI; a deliberate
-# API change is recorded by regenerating the baseline:
+# Renders `go doc` (the package documentation plus the one-line index of
+# every exported symbol) for each guarded package and diffs it against
+# the checked-in baseline under api/. Any accidental removal, rename, or
+# signature change of an exported symbol shows up as a diff and fails
+# CI; a deliberate API change is recorded by regenerating the baselines:
 #
 #	./scripts/apicheck.sh          # verify (CI mode)
-#	./scripts/apicheck.sh -update  # accept the current surface
+#	./scripts/apicheck.sh -update  # accept the current surfaces
+#
+# Guarded surfaces:
+#   api/simsym.txt — package simsym, the public facade
+#   api/server.txt — internal/server, the simsymd session API (HTTP
+#                    handlers, session config/snapshot JSON contracts)
 set -eu
 cd "$(dirname "$0")/.."
-baseline=api/simsym.txt
-tmp=$(mktemp)
-trap 'rm -f "$tmp"' EXIT
-go doc . >"$tmp"
-if [ "${1:-}" = "-update" ]; then
-	mkdir -p api
-	cp "$tmp" "$baseline"
-	echo "apicheck: baseline $baseline updated"
-	exit 0
-fi
-if [ ! -f "$baseline" ]; then
-	echo "apicheck: missing baseline $baseline (run ./scripts/apicheck.sh -update)" >&2
-	exit 1
-fi
-if ! diff -u "$baseline" "$tmp"; then
-	echo "apicheck: public API surface changed." >&2
-	echo "apicheck: if intentional, regenerate with ./scripts/apicheck.sh -update" >&2
-	exit 1
-fi
-echo "apicheck: public API matches $baseline"
+mode="${1:-}"
+status=0
+
+check() {
+	pkg=$1
+	baseline=$2
+	tmp=$(mktemp)
+	go doc "$pkg" >"$tmp"
+	if [ "$mode" = "-update" ]; then
+		mkdir -p api
+		cp "$tmp" "$baseline"
+		echo "apicheck: baseline $baseline updated"
+	elif [ ! -f "$baseline" ]; then
+		echo "apicheck: missing baseline $baseline (run ./scripts/apicheck.sh -update)" >&2
+		status=1
+	elif ! diff -u "$baseline" "$tmp"; then
+		echo "apicheck: $pkg surface changed (baseline $baseline)." >&2
+		echo "apicheck: if intentional, regenerate with ./scripts/apicheck.sh -update" >&2
+		status=1
+	else
+		echo "apicheck: $pkg matches $baseline"
+	fi
+	rm -f "$tmp"
+}
+
+check . api/simsym.txt
+check ./internal/server api/server.txt
+exit $status

@@ -128,33 +128,6 @@ func Star(n int) (*System, error) {
 	return system.Star(n)
 }
 
-// Similarity computes the similarity labeling Θ of sys under the given
-// environment rule (Algorithm 1 / Theorem 5).
-//
-// Deprecated: use SimilarityOpts, which additionally accepts
-// WithObserver and WithWorkers. This wrapper delegates to it unchanged.
-func Similarity(sys *System, rule Rule) (*Labeling, error) {
-	return SimilarityOpts(sys, rule)
-}
-
-// Decide solves the selection problem's decision half for the given
-// model (Theorems 1–3, 7–9 and the section 6 mimicry criterion).
-//
-// Deprecated: use DecideOpts, which additionally accepts WithObserver.
-// This wrapper delegates to it unchanged.
-func Decide(sys *System, instr InstrSet, sch ScheduleClass) (*Decision, error) {
-	return DecideOpts(sys, instr, sch)
-}
-
-// BuildSelect produces a runnable selection program (the paper's SELECT /
-// Algorithm 4) for a solvable system in Q or L.
-//
-// Deprecated: use BuildSelectOpts, which additionally accepts
-// WithObserver. This wrapper delegates to it unchanged.
-func BuildSelect(sys *System, instr InstrSet, sch ScheduleClass) (*Program, *Decision, error) {
-	return BuildSelectOpts(sys, instr, sch)
-}
-
 // NewMachine initializes a VM for sys under an instruction set.
 func NewMachine(sys *System, instr InstrSet, prog *Program) (*Machine, error) {
 	if sys == nil || prog == nil {
@@ -259,39 +232,12 @@ func WitnessSimilarity(sys *System, instr InstrSet, prog *Program, lab *Labeling
 	return rep.Synced(), nil
 }
 
-// CheckSelectionSafety model-checks a selection program over every
-// schedule: no state with two selected processors, no transition that
-// unselects one. safe && complete is a proof over the full reachable
-// space; safe && !complete means no violation was found within the
-// maxStates budget (bounded verification).
-//
-// Deprecated: use CheckOpts, which returns the full CheckReport (witness
-// schedule, exhausted budget, engine statistics) and accepts budgets,
-// workers, symmetry reduction, contexts, and observers. This wrapper
-// delegates to it unchanged.
-func CheckSelectionSafety(sys *System, instr InstrSet, prog *Program, maxStates int) (safe, complete bool, err error) {
-	rep, err := CheckOpts(sys, instr, prog, WithMaxStates(maxStates))
-	if err != nil {
-		return false, false, err
-	}
-	return rep.Safe, rep.Complete, nil
-}
-
 // DiningProgram returns the uniform fork-grabbing philosopher program.
 func DiningProgram(first, second Name, meals int) (*Program, error) {
 	if first == "" || second == "" || meals < 1 {
 		return nil, fmt.Errorf("%w: DiningProgram(%q, %q, meals=%d) needs non-empty names, meals >= 1", ErrBadArgs, first, second, meals)
 	}
 	return dining.Program(first, second, meals)
-}
-
-// CheckDining model-checks a dining program for exclusion and deadlock.
-//
-// Deprecated: use CheckDiningOpts, which accepts budgets, workers,
-// symmetry reduction, contexts, and observers. This wrapper delegates to
-// it unchanged.
-func CheckDining(sys *System, prog *Program, maxStates int) (*DiningReport, error) {
-	return CheckDiningOpts(sys, prog, WithMaxStates(maxStates))
 }
 
 // OrientedDiningTable builds the Chandy–Misra table: the acyclic fork

@@ -12,14 +12,14 @@ func TestFacadeQuickstart(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	lab, err := simsym.Similarity(sys, simsym.RuleQ)
+	lab, err := simsym.SimilarityOpts(sys, simsym.RuleQ)
 	if err != nil {
 		t.Fatal(err)
 	}
 	if lab.NumProcClasses() != 1 {
 		t.Errorf("ring classes = %d, want 1", lab.NumProcClasses())
 	}
-	d, err := simsym.Decide(sys, simsym.InstrL, simsym.SchedFair)
+	d, err := simsym.DecideOpts(sys, simsym.InstrL, simsym.SchedFair)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -30,7 +30,7 @@ func TestFacadeQuickstart(t *testing.T) {
 
 func TestFacadeSelectAndRun(t *testing.T) {
 	sys := simsym.Fig2()
-	prog, d, err := simsym.BuildSelect(sys, simsym.InstrQ, simsym.SchedFair)
+	prog, d, err := simsym.BuildSelectOpts(sys, simsym.InstrQ, simsym.SchedFair)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -55,15 +55,15 @@ func TestFacadeSelectAndRun(t *testing.T) {
 
 func TestFacadeSafetyCheck(t *testing.T) {
 	sys := simsym.Fig1()
-	prog, _, err := simsym.BuildSelect(sys, simsym.InstrL, simsym.SchedFair)
+	prog, _, err := simsym.BuildSelectOpts(sys, simsym.InstrL, simsym.SchedFair)
 	if err != nil {
 		t.Fatal(err)
 	}
-	safe, _, err := simsym.CheckSelectionSafety(sys, simsym.InstrL, prog, 100_000)
+	rep, err := simsym.CheckOpts(sys, simsym.InstrL, prog, simsym.WithMaxStates(100_000))
 	if err != nil {
 		t.Fatal(err)
 	}
-	if !safe {
+	if !rep.Safe {
 		t.Error("Algorithm 4 on Fig1 should be safe")
 	}
 }
@@ -131,7 +131,7 @@ func TestFacadeMimicAndMsgPass(t *testing.T) {
 
 func TestFacadeWitnessAndDining(t *testing.T) {
 	sys := simsym.Fig1()
-	lab, err := simsym.Similarity(sys, simsym.RuleQ)
+	lab, err := simsym.SimilarityOpts(sys, simsym.RuleQ)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -158,7 +158,7 @@ func TestFacadeWitnessAndDining(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	rep, err := simsym.CheckDining(table, dprog, 100_000)
+	rep, err := simsym.CheckDiningOpts(table, dprog, simsym.WithMaxStates(100_000))
 	if err != nil {
 		t.Fatal(err)
 	}

@@ -142,7 +142,7 @@ func (sh *statHarness) check(name string, o Options) (*StatReport, error) {
 		Depth:       o.Depth,
 		Workers:     o.Workers,
 		Seed:        o.Seed,
-		MaxDuration: o.MaxDuration,
+		MaxDuration: o.MaxDuration.Std(),
 		Partial:     true,
 		Obs:         o.Obs,
 		Ctx:         o.Ctx,

@@ -134,7 +134,7 @@ func TestCheckStatisticalDeterminismMatrix(t *testing.T) {
 
 func TestCheckStatisticalSelection(t *testing.T) {
 	sys := simsym.Fig1()
-	prog, _, err := simsym.BuildSelect(sys, simsym.InstrL, simsym.SchedFair)
+	prog, _, err := simsym.BuildSelectOpts(sys, simsym.InstrL, simsym.SchedFair)
 	if err != nil {
 		t.Fatal(err)
 	}
