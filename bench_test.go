@@ -211,3 +211,77 @@ func BenchmarkSelectL(b *testing.B) {
 		}
 	}
 }
+
+// benchRingSplice drives b.N splice/unsplice event pairs through the
+// incremental engine on an n-processor ring. Each iteration is two
+// churn events, both locality-bounded: the certificate skips the merge
+// pass and per-event work stays proportional to the splice's
+// neighborhood, independent of n.
+func benchRingSplice(b *testing.B, n int) {
+	sys, err := system.Ring(n)
+	if err != nil {
+		b.Fatal(err)
+	}
+	d, err := core.NewDynSystem(sys, core.RuleQ, core.Config{})
+	if err != nil {
+		b.Fatal(err)
+	}
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		p := sys.ProcIDs[i%n]
+		bind, err := d.Bindings(p)
+		if err != nil {
+			b.Fatal(err)
+		}
+		vb := bind[1]
+		vx := fmt.Sprintf("xv%d", i)
+		px := fmt.Sprintf("xp%d", i)
+		if _, err := d.Apply(
+			core.Mutation{Op: core.OpAddVar, Var: vx, Init: "0"},
+			core.Mutation{Op: core.OpAddProc, Proc: px, Init: "0", Bind: []string{vx, vb}},
+			core.Mutation{Op: core.OpRewire, Proc: p, Name: "right", Var: vx},
+		); err != nil {
+			b.Fatal(err)
+		}
+		if _, err := d.Apply(
+			core.Mutation{Op: core.OpRewire, Proc: p, Name: "right", Var: vb},
+			core.Mutation{Op: core.OpRemoveProc, Proc: px},
+		); err != nil {
+			b.Fatal(err)
+		}
+	}
+	b.StopTimer()
+	if d.NumClasses() != 2 {
+		b.Fatalf("ring symmetry lost: %d classes", d.NumClasses())
+	}
+}
+
+// BenchmarkChurnSplice is the incremental half of the E17 comparison:
+// ns/op is the cost of two shape-preserving churn events and should be
+// flat in n.
+func BenchmarkChurnSplice(b *testing.B) {
+	for _, n := range []int{1024, 16384, 131072} {
+		b.Run(fmt.Sprintf("n=%d", n), func(b *testing.B) { benchRingSplice(b, n) })
+	}
+}
+
+// BenchmarkChurnRecompute is the static half of the comparison: the
+// full Similarity fixpoint a non-incremental caller pays per topology
+// event, growing linearly in n.
+func BenchmarkChurnRecompute(b *testing.B) {
+	for _, n := range []int{1024, 16384} {
+		sys, err := system.Ring(n)
+		if err != nil {
+			b.Fatal(err)
+		}
+		b.Run(fmt.Sprintf("n=%d", n), func(b *testing.B) {
+			b.ReportAllocs()
+			for i := 0; i < b.N; i++ {
+				if _, err := core.Similarity(sys, core.RuleQ); err != nil {
+					b.Fatal(err)
+				}
+			}
+		})
+	}
+}

@@ -45,6 +45,9 @@ var registry = []struct {
 	{"E14", experiments.E14CSP},
 	{"E15", func() (*experiments.Table, error) { return experiments.E15AlgorithmS(5) }},
 	{"E16", func() (*experiments.Table, error) { return experiments.E16Statistical(0.05) }},
+	{"E17", func() (*experiments.Table, error) {
+		return experiments.E17Churn([]int{10_000, 100_000, 1_000_000}, 2000)
+	}},
 }
 
 func main() {
@@ -56,7 +59,7 @@ func main() {
 
 func run(args []string, out io.Writer) error {
 	fs := flag.NewFlagSet("experiments", flag.ContinueOnError)
-	only := fs.String("only", "", "run a single experiment (E1..E16)")
+	only := fs.String("only", "", "run a single experiment (E1..E17)")
 	progress := fs.Bool("progress", false, "stream model-checker progress snapshots to stderr")
 	obsFlags := obsflag.Register(fs)
 	if err := fs.Parse(args); err != nil {

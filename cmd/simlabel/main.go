@@ -5,21 +5,34 @@
 //
 //	simlabel -gen 'ring 5'
 //	simlabel -spec table.sys -rule set -dot out.dot
+//	simlabel -gen 'ring 1000' -churn 5000 -seed 7
 //
 // The system comes from -spec (a sysdsl file, "-" for stdin) or -gen (a
 // generator directive). -rule picks the environment rule: "q" (counting,
 // instruction set Q) or "set" (instruction set S). -dot writes a Graphviz
 // rendering.
+//
+// -churn N drives N seeded topology mutation events (join, leave, crash,
+// restart, rewire) through the incremental relabeling engine instead of
+// labeling once, reporting events/sec, a per-event latency histogram,
+// and split/merge totals. -churn-min and -churn-max bound the population
+// during churn; the three flags mirror the churn_* fields of the shared
+// run-config vocabulary.
 package main
 
 import (
 	"flag"
 	"fmt"
 	"io"
+	"math/rand"
 	"os"
+	"sort"
+	"time"
 
+	"simsym/internal/adversary"
 	"simsym/internal/autgrp"
 	"simsym/internal/core"
+	"simsym/internal/runcfg"
 	"simsym/internal/sysdsl"
 	"simsym/internal/system"
 )
@@ -38,6 +51,10 @@ func run(args []string, out io.Writer) error {
 	rule := fs.String("rule", "q", "environment rule: q (counting) or set (S-style)")
 	dotOut := fs.String("dot", "", "write Graphviz DOT to this file")
 	orbits := fs.Bool("orbits", true, "also compute automorphism orbits")
+	churn := fs.Int("churn", 0, "drive this many seeded topology mutation events through the incremental engine")
+	churnMin := fs.Int("churn-min", 0, "population floor during churn (0 = generator default)")
+	churnMax := fs.Int("churn-max", 0, "population ceiling during churn (0 = unbounded)")
+	seed := fs.Int64("seed", 1, "churn stream seed")
 	if err := fs.Parse(args); err != nil {
 		return err
 	}
@@ -58,6 +75,13 @@ func run(args []string, out io.Writer) error {
 
 	fmt.Fprintf(out, "system: %d processors, %d variables, names %v\n",
 		sys.NumProcs(), sys.NumVars(), sys.Names)
+	if *churn > 0 {
+		// The flags are the CLI spelling of the shared churn vocabulary
+		// (runcfg.Common), so a simlabel invocation and a daemon session
+		// config describe the same run.
+		cfg := runcfg.Common{ChurnEvents: *churn, ChurnMinProcs: *churnMin, ChurnMaxProcs: *churnMax}
+		return runChurn(out, sys, r, cfg, *seed)
+	}
 	lab, err := core.Similarity(sys, r)
 	if err != nil {
 		return err
@@ -82,6 +106,55 @@ func run(args []string, out io.Writer) error {
 		}
 		fmt.Fprintf(out, "wrote %s\n", *dotOut)
 	}
+	return nil
+}
+
+// runChurn drives a seeded mutation stream through the dynamic engine
+// and prints throughput, a per-event latency histogram, and the
+// accumulated split/merge work profile.
+func runChurn(out io.Writer, sys *system.System, r core.Rule, cfg runcfg.Common, seed int64) error {
+	d, err := core.NewDynSystem(sys, r, core.Config{})
+	if err != nil {
+		return err
+	}
+	events := cfg.ChurnEvents
+	ch := adversary.NewChurn(rand.New(rand.NewSource(seed)), d,
+		adversary.ChurnOpts{MinProcs: cfg.ChurnMinProcs, MaxProcs: cfg.ChurnMaxProcs})
+	lat := make([]time.Duration, 0, events)
+	kinds := map[string]int{}
+	start := time.Now()
+	for ev := 0; ev < events; ev++ {
+		t0 := time.Now()
+		kind, _, err := ch.Step()
+		if err != nil {
+			return fmt.Errorf("churn event %d: %w", ev, err)
+		}
+		lat = append(lat, time.Since(t0))
+		kinds[kind]++
+	}
+	elapsed := time.Since(start)
+	sort.Slice(lat, func(i, j int) bool { return lat[i] < lat[j] })
+	pct := func(p float64) time.Duration {
+		i := int(p * float64(len(lat)-1))
+		return lat[i]
+	}
+	fmt.Fprintf(out, "churn: %d events in %v (%.0f events/sec), seed %d\n",
+		events, elapsed.Round(time.Millisecond), float64(events)/elapsed.Seconds(), seed)
+	names := make([]string, 0, len(kinds))
+	for k := range kinds {
+		names = append(names, k)
+	}
+	sort.Strings(names)
+	for _, k := range names {
+		fmt.Fprintf(out, "  %-8s %d\n", k, kinds[k])
+	}
+	fmt.Fprintf(out, "latency: p50 %v  p90 %v  p99 %v  max %v\n",
+		pct(0.50), pct(0.90), pct(0.99), lat[len(lat)-1])
+	tot := d.TotalStats()
+	fmt.Fprintf(out, "relabel work: %d splits, %d merges, %d slots relabeled, %d signature computes\n",
+		tot.Splits, tot.Merges, tot.Relabeled, tot.SigComputes)
+	fmt.Fprintf(out, "final: %d processors, %d variables, %d classes\n",
+		d.NumProcs(), d.NumVars(), d.NumClasses())
 	return nil
 }
 

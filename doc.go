@@ -78,6 +78,33 @@
 //	cfg := simsym.RunConfig{MaxStates: 500_000, Workers: 4, Symmetry: true}
 //	rep, err := simsym.CheckOpts(sys, instr, prog, simsym.WithConfig(cfg))
 //
+// # Dynamic topologies
+//
+// NewDynSystem lifts a system into an incrementally-maintained
+// similarity labeling: processors and variables join, leave, crash,
+// restart, rewire, and change initial state while the engine repairs
+// only the equivalence classes each event invalidates (splitting where
+// a member's environment signature diverged, merging exactly where the
+// class-graph quotient proves coarseness restorable):
+//
+//	d, err := simsym.NewDynSystem(sys, simsym.RuleQ)
+//	st, err := d.Apply(
+//		simsym.Mutation{Op: simsym.OpAddVar, Var: "vx", Init: "0"},
+//		simsym.Mutation{Op: simsym.OpAddProc, Proc: "px", Init: "0", Bind: []string{"v0", "vx"}},
+//	)
+//	fmt.Println(d.NumClasses(), st.Splits, st.Merges)
+//
+// A mutation batch is one churn event: one settle, one stats record.
+// ApplyDiff diffs a whole target system against the current topology
+// and applies it as a single event. Labeling and Snapshot expose the
+// canonical labeling and a compacted static system at any instant, and
+// the result always equals a from-scratch SimilarityOpts on that
+// snapshot — the fuzzer FuzzIncrementalSimilarity holds the two paths
+// equal after every event. NewChurn wraps a DynSystem in a seeded,
+// replayable stream of weighted join/leave/crash/restart/rewire events
+// for soak tests and benchmarks; the simsymd daemon exposes the same
+// engine per session via POST /v1/sessions/{id}/topology.
+//
 // # Migrating from the positional API
 //
 // The deprecated positional wrappers from earlier releases — Similarity,

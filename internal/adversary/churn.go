@@ -1,0 +1,215 @@
+package adversary
+
+import (
+	"fmt"
+	"math/rand"
+
+	"simsym/internal/core"
+	"simsym/internal/partition"
+)
+
+// ChurnOpts weights the event mix of a churn stream. Zero weights drop
+// the event kind; an all-zero struct gets the defaults (join 3, leave 3,
+// crash 1, restart 1, rewire 2).
+type ChurnOpts struct {
+	JoinWeight    int
+	LeaveWeight   int
+	CrashWeight   int
+	RestartWeight int
+	RewireWeight  int
+	// MinProcs suppresses leaves that would shrink the population below
+	// this floor (default 2; the engine itself refuses to drop the last
+	// processor).
+	MinProcs int
+	// MaxProcs suppresses joins above this ceiling (0 = unbounded).
+	MaxProcs int
+	// Join, when set, builds the mutation batch for a join event given a
+	// uniformly chosen template processor; it returns the new
+	// processor's id as well. The default clone-join gives the new
+	// processor the template's exact bindings. Topology-aware callers
+	// (the ring-splice benchmark) substitute a locality-preserving
+	// splice here.
+	Join func(rng *rand.Rand, d *core.DynSystem, template string, seq int) (id string, muts []core.Mutation)
+}
+
+func (o ChurnOpts) withDefaults() ChurnOpts {
+	if o.JoinWeight == 0 && o.LeaveWeight == 0 && o.CrashWeight == 0 && o.RestartWeight == 0 && o.RewireWeight == 0 {
+		o.JoinWeight, o.LeaveWeight, o.CrashWeight, o.RestartWeight, o.RewireWeight = 3, 3, 1, 1, 2
+	}
+	if o.MinProcs < 2 {
+		o.MinProcs = 2
+	}
+	return o
+}
+
+// Churn is a seeded stream of topology mutation events over a dynamic
+// similarity engine: processors join, leave, crash, restart, and rewire,
+// extending the fault vocabulary of the scheduler layer to the topology
+// itself. Every stream is a deterministic function of (seed, options,
+// initial population), so churn runs replay exactly. Event generation
+// is O(1) (amortized) regardless of population size: the stream keeps
+// its own id pools instead of asking the engine for full listings.
+type Churn struct {
+	rng     *rand.Rand
+	d       *core.DynSystem
+	opts    ChurnOpts
+	procs   []string
+	procAt  map[string]int
+	crashed []string
+	crashAt map[string]int
+	seq     int
+	total   int
+}
+
+// NewChurn builds a churn stream over d seeded from rng. The engine's
+// current processors form the initial population.
+func NewChurn(rng *rand.Rand, d *core.DynSystem, opts ChurnOpts) *Churn {
+	c := &Churn{
+		rng:     rng,
+		d:       d,
+		opts:    opts.withDefaults(),
+		procs:   d.ProcIDs(),
+		procAt:  make(map[string]int),
+		crashAt: make(map[string]int),
+	}
+	for i, id := range c.procs {
+		c.procAt[id] = i
+	}
+	return c
+}
+
+func (c *Churn) dropProc(id string) {
+	i := c.procAt[id]
+	last := len(c.procs) - 1
+	c.procs[i] = c.procs[last]
+	c.procAt[c.procs[i]] = i
+	c.procs = c.procs[:last]
+	delete(c.procAt, id)
+	if j, ok := c.crashAt[id]; ok {
+		lastC := len(c.crashed) - 1
+		c.crashed[j] = c.crashed[lastC]
+		c.crashAt[c.crashed[j]] = j
+		c.crashed = c.crashed[:lastC]
+		delete(c.crashAt, id)
+	}
+}
+
+func (c *Churn) cloneJoin(template string) (string, []core.Mutation) {
+	bind, err := c.d.Bindings(template)
+	if err != nil {
+		return "", nil
+	}
+	id := fmt.Sprintf("c%d", c.seq)
+	return id, []core.Mutation{{Op: core.OpAddProc, Proc: id, Init: "0", Bind: bind}}
+}
+
+// Step generates and applies one churn event, returning its kind and
+// the relabel stats. Suppressed events (leave at the population floor,
+// join at the ceiling, crash with everyone crashed, ...) degrade to the
+// next viable kind; Step only errors if the engine rejects a mutation,
+// which indicates a bug in the stream.
+func (c *Churn) Step() (kind string, st partition.UpdateStats, err error) {
+	o := c.opts
+	weights := [5]int{o.JoinWeight, o.LeaveWeight, o.CrashWeight, o.RestartWeight, o.RewireWeight}
+	if len(c.procs) <= o.MinProcs {
+		weights[1] = 0
+	}
+	if o.MaxProcs > 0 && len(c.procs) >= o.MaxProcs {
+		weights[0] = 0
+	}
+	if len(c.crashed) == len(c.procs) {
+		weights[2] = 0
+	}
+	if len(c.crashed) == 0 {
+		weights[3] = 0
+	}
+	total := 0
+	for _, w := range weights {
+		total += w
+	}
+	if total == 0 {
+		return "", st, fmt.Errorf("adversary: churn stream has no viable events")
+	}
+	pick := c.rng.Intn(total)
+	ev := 0
+	for ; ev < len(weights); ev++ {
+		if pick < weights[ev] {
+			break
+		}
+		pick -= weights[ev]
+	}
+	c.total++
+	switch ev {
+	case 0: // join
+		template := c.procs[c.rng.Intn(len(c.procs))]
+		join := c.opts.Join
+		var id string
+		var muts []core.Mutation
+		if join != nil {
+			id, muts = join(c.rng, c.d, template, c.seq)
+		} else {
+			id, muts = c.cloneJoin(template)
+		}
+		c.seq++
+		if len(muts) == 0 {
+			return "", st, fmt.Errorf("adversary: join produced no mutations")
+		}
+		st, err = c.d.Apply(muts...)
+		if err == nil {
+			c.procAt[id] = len(c.procs)
+			c.procs = append(c.procs, id)
+		}
+		return "join", st, err
+	case 1: // leave
+		id := c.procs[c.rng.Intn(len(c.procs))]
+		st, err = c.d.RemoveProc(id)
+		if err == nil {
+			c.dropProc(id)
+		}
+		return "leave", st, err
+	case 2: // crash: resample until a non-crashed processor comes up
+		// (terminates: weights[2] is zeroed when everyone is down)
+		var id string
+		for {
+			id = c.procs[c.rng.Intn(len(c.procs))]
+			if _, down := c.crashAt[id]; !down {
+				break
+			}
+		}
+		st, err = c.d.Crash(id)
+		if err == nil {
+			c.crashAt[id] = len(c.crashed)
+			c.crashed = append(c.crashed, id)
+		}
+		return "crash", st, err
+	case 3: // restart
+		id := c.crashed[c.rng.Intn(len(c.crashed))]
+		st, err = c.d.Restart(id)
+		if err == nil {
+			j := c.crashAt[id]
+			last := len(c.crashed) - 1
+			c.crashed[j] = c.crashed[last]
+			c.crashAt[c.crashed[j]] = j
+			c.crashed = c.crashed[:last]
+			delete(c.crashAt, id)
+		}
+		return "restart", st, err
+	default: // rewire: adopt another processor's binding for one name
+		p := c.procs[c.rng.Intn(len(c.procs))]
+		q := c.procs[c.rng.Intn(len(c.procs))]
+		names := c.d.Names()
+		k := c.rng.Intn(len(names))
+		bind, berr := c.d.Bindings(q)
+		if berr != nil {
+			return "", st, berr
+		}
+		st, err = c.d.Rewire(p, names[k], bind[k])
+		return "rewire", st, err
+	}
+}
+
+// Events returns how many events the stream has generated.
+func (c *Churn) Events() int { return c.total }
+
+// Procs returns the current population size the stream tracks.
+func (c *Churn) Procs() int { return len(c.procs) }

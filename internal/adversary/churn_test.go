@@ -1,0 +1,93 @@
+package adversary
+
+import (
+	"math/rand"
+	"testing"
+
+	"simsym/internal/core"
+	"simsym/internal/system"
+)
+
+// TestChurnStreamStaysOracleExact runs a seeded stream over a ring and a
+// tree and cross-checks the incremental labels against a full recompute
+// every few events (every event is pinned already by the core tests and
+// fuzzer; here the point is that the stream's own bookkeeping — id
+// pools, crash sets — stays consistent with the engine).
+func TestChurnStreamStaysOracleExact(t *testing.T) {
+	for _, build := range []func() (*system.System, error){
+		func() (*system.System, error) { return system.Ring(10) },
+		func() (*system.System, error) { return system.Tree(10) },
+	} {
+		sys, err := build()
+		if err != nil {
+			t.Fatal(err)
+		}
+		d, err := core.NewDynSystem(sys, core.RuleQ, core.Config{})
+		if err != nil {
+			t.Fatal(err)
+		}
+		ch := NewChurn(rand.New(rand.NewSource(42)), d, ChurnOpts{})
+		kinds := map[string]int{}
+		for ev := 0; ev < 200; ev++ {
+			kind, _, err := ch.Step()
+			if err != nil {
+				t.Fatalf("event %d (%s): %v", ev, kind, err)
+			}
+			kinds[kind]++
+			if ev%10 == 0 {
+				if err := d.Check(); err != nil {
+					t.Fatalf("event %d: %v", ev, err)
+				}
+				got := d.Labeling()
+				want, err := core.Similarity(got.Sys, core.RuleQ)
+				if err != nil {
+					t.Fatal(err)
+				}
+				for i := range want.ProcLabels {
+					if got.ProcLabels[i] != want.ProcLabels[i] {
+						t.Fatalf("event %d: divergence at proc %d", ev, i)
+					}
+				}
+			}
+			if ch.Procs() != d.NumProcs() {
+				t.Fatalf("event %d: stream tracks %d procs, engine has %d", ev, ch.Procs(), d.NumProcs())
+			}
+		}
+		// The default mix must exercise every event kind in 200 events.
+		for _, k := range []string{"join", "leave", "crash", "restart", "rewire"} {
+			if kinds[k] == 0 {
+				t.Fatalf("event kind %q never fired: %v", k, kinds)
+			}
+		}
+	}
+}
+
+// TestChurnDeterministic pins replayability: same seed, same stream.
+func TestChurnDeterministic(t *testing.T) {
+	run := func() []string {
+		sys, err := system.Ring(8)
+		if err != nil {
+			t.Fatal(err)
+		}
+		d, err := core.NewDynSystem(sys, core.RuleQ, core.Config{})
+		if err != nil {
+			t.Fatal(err)
+		}
+		ch := NewChurn(rand.New(rand.NewSource(7)), d, ChurnOpts{MaxProcs: 12})
+		var kinds []string
+		for ev := 0; ev < 100; ev++ {
+			kind, _, err := ch.Step()
+			if err != nil {
+				t.Fatal(err)
+			}
+			kinds = append(kinds, kind)
+		}
+		return kinds
+	}
+	a, b := run(), run()
+	for i := range a {
+		if a[i] != b[i] {
+			t.Fatalf("streams diverge at event %d: %s vs %s", i, a[i], b[i])
+		}
+	}
+}

@@ -361,3 +361,21 @@ func assertCell(t *testing.T, tbl *Table, key, want string) {
 		t.Errorf("%s[%q] = %q, want %q", tbl.ID, key, got, want)
 	}
 }
+
+func TestE17Churn(t *testing.T) {
+	tab, err := E17Churn([]int{48}, 300)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(tab.Rows) != 2 {
+		t.Fatalf("E17 rows = %d, want 2 (ring, tree)", len(tab.Rows))
+	}
+	// Splice churn never breaks the ring's symmetry: zero splits.
+	ring := tab.Rows[0]
+	if ring[0] != "ring" || ring[6] != "0" {
+		t.Fatalf("ring row %v: want family ring with 0 splits", ring)
+	}
+	if tab.Rows[1][0] != "tree" {
+		t.Fatalf("tree row %v", tab.Rows[1])
+	}
+}

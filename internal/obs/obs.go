@@ -73,6 +73,14 @@ const (
 	// index and merged in index order, so the stream depends only on
 	// (seed, options), never on worker interleaving or wall-clock time.
 	KindSample
+
+	// KindRelabel reports one incremental relabel event of a dynamic
+	// similarity engine: Name is the driver, A=slots touched by the
+	// mutation, B=classes split, C=classes merged. Detail carries the
+	// event kind ("join", "leave", "crash", ...) when known. Like all
+	// events the stream is deterministic: it depends only on the
+	// mutation trace, never on timing.
+	KindRelabel
 )
 
 var kindNames = map[Kind]string{
@@ -86,6 +94,7 @@ var kindNames = map[Kind]string{
 	KindStat:           "stat",
 	KindSpill:          "spill",
 	KindSample:         "sample",
+	KindRelabel:        "relabel",
 }
 
 // String implements fmt.Stringer.
@@ -221,6 +230,16 @@ func (r *Recorder) RefineRound(driver string, round, classes, splits int) {
 		return
 	}
 	r.Emit(Event{Kind: KindRefineRound, Name: driver, A: int64(round), B: int64(classes), C: int64(splits)})
+}
+
+// Relabel emits one incremental-relabel event: touched slots, splits,
+// and merges for a single topology mutation, with the mutation kind in
+// Detail.
+func (r *Recorder) Relabel(driver string, touched, splits, merges int, event string) {
+	if r == nil {
+		return
+	}
+	r.Emit(Event{Kind: KindRelabel, Name: driver, A: int64(touched), B: int64(splits), C: int64(merges), Detail: event})
 }
 
 // StateExpansion emits one model-checker progress event.

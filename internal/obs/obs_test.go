@@ -28,6 +28,16 @@ func TestNilRecorderSafe(t *testing.T) {
 	r.Stat("n", 42)
 	r.Count("c", 1)
 	r.Observe("h", time.Millisecond)
+	r.Relabel("dyn", 4, 1, 1, "join")
+
+	// The churn hot path calls Relabel per event; nil recorders must
+	// stay allocation-free, not merely panic-free.
+	if allocs := testing.AllocsPerRun(100, func() {
+		r.Relabel("dyn", 4, 1, 1, "join")
+		r.Count("dyn.splits", 1)
+	}); allocs != 0 {
+		t.Fatalf("nil recorder allocates: %v allocs/op", allocs)
+	}
 }
 
 // TestRecorderSequencing checks that Emit assigns strictly increasing
@@ -63,7 +73,7 @@ func TestRecorderSequencing(t *testing.T) {
 }
 
 func TestKindStringRoundTrip(t *testing.T) {
-	for k := KindPhaseStart; k <= KindSample; k++ {
+	for k := KindPhaseStart; k <= KindRelabel; k++ {
 		got, ok := KindFromString(k.String())
 		if !ok || got != k {
 			t.Errorf("kind %d: round-trip via %q failed (got %d, ok=%v)", k, k.String(), got, ok)

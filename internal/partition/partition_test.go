@@ -362,3 +362,57 @@ func TestClassesAndString(t *testing.T) {
 		t.Error("String should render")
 	}
 }
+
+// TestPartitionAccessorsCopy pins the sharing contract of the static
+// Partition's slice-returning accessors: everything handed out is a
+// copy, never a view of internal storage. Before the dynamic engine
+// this was a style point; under churn a borrowed class slice would be
+// scrambled by the next event's swap-removals, so the contract is now
+// load-bearing (see also TestDynClassMembersCopied).
+func TestPartitionAccessorsCopy(t *testing.T) {
+	d := modDFA(6, 2)
+	p, err := FixpointWorklist(d)
+	if err != nil {
+		t.Fatal(err)
+	}
+	labels := p.Labels()
+	members := p.Members(p.Label(0))
+	classes := p.Classes()
+	canon := p.Canonical()
+
+	for i := range labels {
+		labels[i] = -7
+	}
+	for i := range members {
+		members[i] = -7
+	}
+	for _, c := range classes {
+		for i := range c {
+			c[i] = -7
+		}
+	}
+	for i := range canon {
+		canon[i] = -7
+	}
+
+	if p.Label(0) == -7 {
+		t.Fatal("Labels() shares internal storage")
+	}
+	for _, m := range p.Members(p.Label(0)) {
+		if m == -7 {
+			t.Fatal("Members() shares internal storage")
+		}
+	}
+	for _, c := range p.Classes() {
+		for _, m := range c {
+			if m == -7 {
+				t.Fatal("Classes() shares internal storage")
+			}
+		}
+	}
+	for _, l := range p.Canonical() {
+		if l == -7 {
+			t.Fatal("Canonical() shares internal storage")
+		}
+	}
+}

@@ -19,6 +19,9 @@ const TenantHeader = "X-Simsym-Tenant"
 //	GET    /v1/sessions/{id}      inspect (?trace=1 adds the replayable trace)
 //	POST   /v1/sessions/{id}/step advance (body: {"slots": n}, default 1)
 //	POST   /v1/sessions/{id}/run  run to the session's slot budget
+//	POST   /v1/sessions/{id}/topology
+//	                              hot-reload (body: {"topology": ...});
+//	                              incremental relabel + run restart
 //	DELETE /v1/sessions/{id}      delete → last Snapshot
 //	GET    /metrics               Prometheus text exposition
 //	GET    /healthz               liveness + session count
@@ -76,6 +79,21 @@ func Handler(s *Server, onDrained func()) http.Handler {
 	})
 	mux.HandleFunc("POST /v1/sessions/{id}/run", func(w http.ResponseWriter, r *http.Request) {
 		snap, err := s.Run(r.PathValue("id"), r.Header.Get(TenantHeader))
+		if err != nil {
+			writeSrvErr(w, err)
+			return
+		}
+		writeJSON(w, http.StatusOK, snap)
+	})
+	mux.HandleFunc("POST /v1/sessions/{id}/topology", func(w http.ResponseWriter, r *http.Request) {
+		var body struct {
+			Topology string `json:"topology"`
+		}
+		if err := json.NewDecoder(r.Body).Decode(&body); err != nil {
+			writeErr(w, http.StatusBadRequest, err)
+			return
+		}
+		snap, err := s.Reload(r.PathValue("id"), body.Topology, r.Header.Get(TenantHeader))
 		if err != nil {
 			writeSrvErr(w, err)
 			return

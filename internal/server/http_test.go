@@ -251,3 +251,45 @@ func waitFor(t *testing.T, cond func() bool) {
 	}
 	t.Fatal("condition never held")
 }
+
+func TestHTTPTopologyReload(t *testing.T) {
+	s := New(Config{Shards: 2})
+	ts := httptest.NewServer(Handler(s, nil))
+	defer ts.Close()
+	defer drainOrFail(t, s)
+	c := ts.Client()
+
+	cfg := SessionConfig{Topology: "gen dining 5", Kind: "dining", Meals: 1}
+	cfg.Config.MaxSlots = 1 << 20
+	var snap Snapshot
+	doJSON(t, c, "POST", ts.URL+"/v1/sessions", cfg, http.StatusCreated, &snap)
+
+	var reloaded Snapshot
+	doJSON(t, c, "POST", ts.URL+"/v1/sessions/"+snap.ID+"/topology",
+		map[string]string{"topology": "gen dining 8"}, http.StatusOK, &reloaded)
+	if reloaded.Procs != 8 || reloaded.Reloads != 1 || reloaded.Relabel == nil {
+		t.Fatalf("bad reload snapshot: %+v", reloaded)
+	}
+	if reloaded.Relabel.Splits != 0 || reloaded.Relabel.Classes != 2 {
+		t.Fatalf("symmetric growth relabel = %+v, want 0 splits, 2 classes", reloaded.Relabel)
+	}
+
+	// Bad target topology → 400; unknown session → 404.
+	doJSON(t, c, "POST", ts.URL+"/v1/sessions/"+snap.ID+"/topology",
+		map[string]string{"topology": "gen star 4"}, http.StatusBadRequest, nil)
+	doJSON(t, c, "POST", ts.URL+"/v1/sessions/nope/topology",
+		map[string]string{"topology": "gen dining 5"}, http.StatusNotFound, nil)
+
+	// The relabel work profile shows up on /metrics.
+	resp, err := c.Get(ts.URL + "/metrics")
+	if err != nil {
+		t.Fatal(err)
+	}
+	body, _ := io.ReadAll(resp.Body)
+	resp.Body.Close()
+	for _, want := range []string{"simsym_server_sessions_reloaded_total 1", "simsym_dyn_touched_total"} {
+		if !strings.Contains(string(body), want) {
+			t.Fatalf("/metrics missing %q:\n%s", want, body)
+		}
+	}
+}

@@ -97,6 +97,7 @@ const (
 	opInspect
 	opDelete
 	opList
+	opReload
 	// opBarrier parks the shard goroutine until its block channel is
 	// closed — a deterministic seam for the backpressure tests. No
 	// production path enqueues it.
@@ -109,6 +110,7 @@ type request struct {
 	slots int           // opStep
 	trace bool          // opInspect
 	cfg   SessionConfig // opCreate
+	topo  string        // opReload: new sysdsl topology
 	block chan struct{} // opBarrier: parks the shard until closed
 	ack   chan struct{} // opBarrier: closed once the shard is parked
 	reply chan reply
@@ -264,6 +266,24 @@ func (s *Server) Run(id string, tenant string) (Snapshot, error) {
 	if err != nil {
 		return Snapshot{}, err
 	}
+	return r.snap, nil
+}
+
+// Reload hot-swaps a session's topology to the given sysdsl
+// description. The session's incremental similarity engine diffs the
+// target against the current topology (split/merge partition repair
+// instead of relabeling from scratch) and the hosted run restarts on
+// the new system; the returned snapshot carries the relabel stats.
+func (s *Server) Reload(id, topology, tenant string) (Snapshot, error) {
+	start := s.cfg.Now()
+	if err := s.admitTenant(tenant); err != nil {
+		return Snapshot{}, err
+	}
+	r, err := s.submit(s.shardFor(id), request{op: opReload, id: id, topo: topology})
+	if err != nil {
+		return Snapshot{}, err
+	}
+	s.reg.Histogram("server.reload.latency").Observe(s.cfg.Now().Sub(start))
 	return r.snap, nil
 }
 
@@ -439,6 +459,26 @@ func (s *Server) apply(sh *shard, req request) reply {
 		delete(sh.sessions, req.id)
 		s.live.Add(-1)
 		s.reg.Counter("server.sessions.deleted").Inc()
+		return reply{snap: sess.snapshot(false)}
+	case opReload:
+		sess, ok := sh.sessions[req.id]
+		if !ok {
+			return reply{err: fmt.Errorf("%w: %s", ErrNotFound, req.id)}
+		}
+		st, err := sess.reload(req.topo)
+		if err != nil {
+			return reply{err: err}
+		}
+		// Fold the incremental engine's work profile into the registry so
+		// /metrics exposes churn cost alongside throughput.
+		s.reg.Counter("server.sessions.reloaded").Inc()
+		s.reg.Counter("dyn.touched").Add(int64(st.Touched))
+		s.reg.Counter("dyn.splits").Add(int64(st.Splits))
+		s.reg.Counter("dyn.merges").Add(int64(st.Merges))
+		s.reg.Counter("dyn.relabeled").Add(int64(st.Relabeled))
+		if st.Rebuild {
+			s.reg.Counter("dyn.rebuilds").Inc()
+		}
 		return reply{snap: sess.snapshot(false)}
 	case opList:
 		snaps := make([]Snapshot, 0, len(sh.sessions))

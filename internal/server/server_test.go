@@ -460,3 +460,87 @@ func TestStepCoalescing(t *testing.T) {
 		t.Fatalf("coalesced counter = %d, want 2", got)
 	}
 }
+
+func TestSessionTopologyReload(t *testing.T) {
+	s := New(Config{Shards: 2})
+	defer drainOrFail(t, s)
+
+	cfg := SessionConfig{Topology: "gen dining 6", Kind: "dining", Meals: 1}
+	cfg.Config.MaxSlots = 1 << 20
+	snap, err := s.Create(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	id := snap.ID
+	if snap.Procs != 6 || snap.Reloads != 0 || snap.Relabel != nil {
+		t.Fatalf("bad create snapshot: %+v", snap)
+	}
+	if _, err := s.Step(id, 5, ""); err != nil {
+		t.Fatal(err)
+	}
+
+	snap, err = s.Reload(id, "gen dining 9", "")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if snap.Procs != 9 {
+		t.Fatalf("after reload: procs = %d, want 9", snap.Procs)
+	}
+	if snap.Slots != 0 {
+		t.Fatalf("reload must restart the run: slots = %d", snap.Slots)
+	}
+	if snap.Reloads != 1 || snap.Relabel == nil {
+		t.Fatalf("reload stats missing: %+v", snap)
+	}
+	// The dining ring stays a ring: one processor class, one variable class, and
+	// growing it must not split anything.
+	if snap.Relabel.Classes != 2 || snap.Relabel.Splits != 0 {
+		t.Fatalf("dining 6 → dining 9 relabel = %+v, want 2 classes, 0 splits", snap.Relabel)
+	}
+	if snap.Relabel.Touched == 0 {
+		t.Fatalf("reload touched no slots: %+v", snap.Relabel)
+	}
+
+	// The reloaded session still runs to a verdict on the new topology.
+	snap, err = s.Run(id, "")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !snap.Finished || !snap.Done {
+		t.Fatalf("reloaded dining 9 session should converge: %+v", snap)
+	}
+	insp, err := s.Inspect(id, false)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if insp.Reloads != 1 || insp.Relabel == nil {
+		t.Fatalf("inspect lost reload stats: %+v", insp)
+	}
+
+	// Incremental work profile lands in the /metrics registry.
+	if got := s.Registry().Counter("server.sessions.reloaded").Value(); got != 1 {
+		t.Fatalf("server.sessions.reloaded = %d, want 1", got)
+	}
+	if got := s.Registry().Counter("dyn.touched").Value(); got == 0 {
+		t.Fatal("dyn.touched counter never incremented")
+	}
+
+	// Failure modes: unknown session, mismatched names, bad syntax. None
+	// may disturb the session.
+	if _, err := s.Reload("nope", "gen ring 3", ""); !errors.Is(err, ErrNotFound) {
+		t.Fatalf("reload unknown id: err = %v, want ErrNotFound", err)
+	}
+	if _, err := s.Reload(id, "gen star 4", ""); !errors.Is(err, ErrBadSession) {
+		t.Fatalf("reload with mismatched names: err = %v, want ErrBadSession", err)
+	}
+	if _, err := s.Reload(id, "nonsense", ""); !errors.Is(err, ErrBadSession) {
+		t.Fatalf("reload with bad syntax: err = %v, want ErrBadSession", err)
+	}
+	insp, err = s.Inspect(id, false)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if insp.Procs != 9 || insp.Reloads != 1 {
+		t.Fatalf("failed reloads disturbed the session: %+v", insp)
+	}
+}

@@ -6,6 +6,8 @@ import (
 	"strings"
 
 	"simsym/internal/adversary"
+	"simsym/internal/core"
+	"simsym/internal/partition"
 	"simsym/internal/runcfg"
 	"simsym/internal/sysdsl"
 	"simsym/internal/system"
@@ -54,6 +56,14 @@ type session struct {
 	exec   *adversary.Exec
 	res    *adversary.Result // set once finalized
 
+	// dyn mirrors the session topology once the first hot-reload arrives;
+	// subsequent reloads diff against it incrementally instead of
+	// relabeling from scratch. Nil until then — steady-state sessions pay
+	// nothing for the feature.
+	dyn     *core.DynSystem
+	reloads int
+	relabel *RelabelStats // last reload's incremental work
+
 	// Per-session SLO counters, reported by inspect and folded into the
 	// registry-wide histograms as the shard applies batches.
 	slots   int
@@ -72,7 +82,24 @@ func newSession(id string, cfg SessionConfig) (*session, error) {
 	if err != nil {
 		return nil, fmt.Errorf("%w: topology: %v", ErrBadSession, err)
 	}
+	h, err := buildHarness(cfg, sys)
+	if err != nil {
+		return nil, err
+	}
+	exec, err := h.Start()
+	if err != nil {
+		return nil, fmt.Errorf("%w: %v", ErrBadSession, err)
+	}
+	return &session{id: id, tenant: cfg.Tenant, cfg: cfg, sys: sys, h: h, exec: exec}, nil
+}
+
+// buildHarness constructs the hosted VM harness for cfg over sys: the
+// algorithm, the seeded schedule, and the fault streams. Shared by
+// session creation and topology reload, so a reloaded session runs
+// under exactly the knobs it was created with.
+func buildHarness(cfg SessionConfig, sys *system.System) (*adversary.Harness, error) {
 	var h *adversary.Harness
+	var err error
 	switch cfg.Kind {
 	case "select":
 		instr, err := parseInstr(cfg.Instr)
@@ -123,12 +150,59 @@ func newSession(id string, cfg SessionConfig) (*session, error) {
 	if cfg.Config.MaxSlots > 0 {
 		h.MaxSlots = cfg.Config.MaxSlots
 	}
+	return h, nil
+}
 
+// reload swaps the session onto a new topology. The incremental engine
+// diffs the parsed target against the previous topology (splitting and
+// merging only the similarity classes the delta invalidates) and the
+// hosted run restarts on the new system under the session's original
+// knobs; cumulative batch counters survive. The engine is created
+// lazily from the session's current system on the first reload.
+func (s *session) reload(topology string) (partition.UpdateStats, error) {
+	var zero partition.UpdateStats
+	if strings.TrimSpace(topology) == "" {
+		return zero, fmt.Errorf("%w: empty topology", ErrBadSession)
+	}
+	target, err := sysdsl.Parse(topology)
+	if err != nil {
+		return zero, fmt.Errorf("%w: topology: %v", ErrBadSession, err)
+	}
+	// Build the replacement harness before touching the engine: a target
+	// the hosted algorithm rejects (e.g. dining needs every fork shared)
+	// must not leave the engine diffed ahead of the session.
+	h, err := buildHarness(s.cfg, target)
+	if err != nil {
+		return zero, err
+	}
 	exec, err := h.Start()
 	if err != nil {
-		return nil, fmt.Errorf("%w: %v", ErrBadSession, err)
+		return zero, fmt.Errorf("%w: %v", ErrBadSession, err)
 	}
-	return &session{id: id, tenant: cfg.Tenant, cfg: cfg, sys: sys, h: h, exec: exec}, nil
+	if s.dyn == nil {
+		d, err := core.NewDynSystem(s.sys, core.RuleQ, core.Config{})
+		if err != nil {
+			return zero, fmt.Errorf("%w: %v", ErrBadSession, err)
+		}
+		s.dyn = d
+	}
+	st, err := s.dyn.ApplyDiff(target)
+	if err != nil {
+		return zero, fmt.Errorf("%w: reload: %v", ErrBadSession, err)
+	}
+	s.sys, s.h, s.exec, s.res = target, h, exec, nil
+	s.cfg.Topology = topology
+	s.counted = false
+	s.slots, s.steps = 0, 0
+	s.reloads++
+	s.relabel = &RelabelStats{
+		Touched: st.Touched,
+		Splits:  st.Splits,
+		Merges:  st.Merges,
+		Rebuild: st.Rebuild,
+		Classes: st.Classes,
+	}
+	return st, nil
 }
 
 // advance consumes up to maxSlots further slots and finalizes the run
@@ -163,19 +237,38 @@ func (s *session) runToEnd() error {
 	return nil
 }
 
+// RelabelStats is the JSON view of one topology reload's incremental
+// relabeling work, surfaced on the session snapshot after a reload.
+type RelabelStats struct {
+	// Touched is the number of slots the diff reported changed.
+	Touched int `json:"touched"`
+	// Splits and Merges count the class repairs the delta forced.
+	Splits int `json:"splits"`
+	Merges int `json:"merges"`
+	// Rebuild reports a fall-back to full recomputation (the delta
+	// destroyed too much symmetry for incremental repair to win).
+	Rebuild bool `json:"rebuild,omitempty"`
+	// Classes is the similarity class count after the reload.
+	Classes int `json:"classes"`
+}
+
 // Snapshot is the JSON view of a session's state, returned by every
 // step/run/inspect/delete reply.
 type Snapshot struct {
-	ID       string `json:"id"`
-	Tenant   string `json:"tenant,omitempty"`
-	Kind     string `json:"kind"`
-	Procs    int    `json:"procs"`
-	Slots    int    `json:"slots"`
-	Steps    int    `json:"steps"`
-	Batches  int    `json:"batches"`
-	Finished bool   `json:"finished"`
-	Done     bool   `json:"done"`
-	Halted   bool   `json:"halted"`
+	ID      string `json:"id"`
+	Tenant  string `json:"tenant,omitempty"`
+	Kind    string `json:"kind"`
+	Procs   int    `json:"procs"`
+	Slots   int    `json:"slots"`
+	Steps   int    `json:"steps"`
+	Batches int    `json:"batches"`
+	// Reloads counts topology hot-reloads; Relabel is the last one's
+	// incremental relabeling work (absent before the first reload).
+	Reloads  int           `json:"reloads,omitempty"`
+	Relabel  *RelabelStats `json:"relabel,omitempty"`
+	Finished bool          `json:"finished"`
+	Done     bool          `json:"done"`
+	Halted   bool          `json:"halted"`
 	// Violation is the first invariant breach's message ("" while clean).
 	Violation string `json:"violation,omitempty"`
 	// Fingerprint identifies the final machine state (set once finished).
@@ -195,6 +288,8 @@ func (s *session) snapshot(withTrace bool) Snapshot {
 		Slots:   s.exec.Slots(),
 		Steps:   s.exec.Steps(),
 		Batches: s.batches,
+		Reloads: s.reloads,
+		Relabel: s.relabel,
 	}
 	if v := s.exec.Violation(); v != nil {
 		snap.Violation = v.Reason

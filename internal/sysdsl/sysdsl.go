@@ -19,6 +19,7 @@
 //	gen dining 5
 //	gen dining-flipped 6
 //	gen star 4
+//	gen tree 7
 //	gen fig1 | fig2 | fig3
 package sysdsl
 
@@ -197,6 +198,8 @@ func generate(args []string, lineNo int) (*system.System, error) {
 		return system.DiningFlipped(size)
 	case "star":
 		return system.Star(size)
+	case "tree":
+		return system.Tree(size)
 	case "fig1":
 		return system.Fig1(), nil
 	case "fig2":

@@ -170,6 +170,40 @@ func Star(n int) (*System, error) {
 	return s, nil
 }
 
+// Tree builds a rooted binary tree of n processors: processor i owns
+// variable i (name "own") and shares its parent's variable under name
+// "up" (the root's "up" points at its own variable). Children of a
+// processor read its variable through their "up" binding, so the
+// variable-sharing graph is exactly the heap-shaped tree on
+// 0..n-1 with parent(i) = (i-1)/2. Similarity classes group processors
+// by depth and subtree shape, which makes Tree the second churn family
+// of E17: leaf joins and leaves are locality-bounded events.
+func Tree(n int) (*System, error) {
+	if n < 1 {
+		return nil, fmt.Errorf("%w: tree size %d", ErrShape, n)
+	}
+	s := &System{
+		Names:    []Name{"up", "own"},
+		ProcIDs:  make([]string, n),
+		VarIDs:   make([]string, n),
+		Nbr:      make([][]int, n),
+		ProcInit: make([]string, n),
+		VarInit:  make([]string, n),
+	}
+	for i := 0; i < n; i++ {
+		s.ProcIDs[i] = fmt.Sprintf("p%d", i)
+		s.VarIDs[i] = fmt.Sprintf("v%d", i)
+		parent := 0
+		if i > 0 {
+			parent = (i - 1) / 2
+		}
+		s.Nbr[i] = []int{parent, i} // up, own
+		s.ProcInit[i] = "0"
+		s.VarInit[i] = "0"
+	}
+	return s, nil
+}
+
 // QOverSWitness builds a system whose selection problem is solvable in Q
 // but not in bounded-fair S: p1 and p2 share variable v under name "a"
 // while p3 has variable w to itself, and all three share t under name "b".

@@ -1,0 +1,126 @@
+package system
+
+import (
+	"errors"
+	"fmt"
+)
+
+// ErrVarInUse is returned by RemoveVar when a processor still binds the
+// variable under some name.
+var ErrVarInUse = errors.New("variable still referenced by a processor")
+
+// Mutation helpers: in-place edits of the compact representation that
+// preserve Validate's invariants (every processor binds one variable
+// per name; no orphan variables after RemoveProc's cascade). These are
+// O(n) on the compact arrays — the churn hot path lives in
+// core.DynSystem's slot tables; this surface exists for diff
+// application, snapshots, and tests.
+
+// AddVar appends a variable and returns its index.
+func (s *System) AddVar(id, init string) int {
+	s.VarIDs = append(s.VarIDs, id)
+	s.VarInit = append(s.VarInit, init)
+	return len(s.VarIDs) - 1
+}
+
+// AddProc appends a processor bound to nbr (one variable index per
+// name, in Names order) and returns its index.
+func (s *System) AddProc(id, init string, nbr []int) (int, error) {
+	if len(nbr) != len(s.Names) {
+		return 0, fmt.Errorf("%w: proc %q binds %d names, system has %d", ErrShape, id, len(nbr), len(s.Names))
+	}
+	for _, v := range nbr {
+		if v < 0 || v >= len(s.VarIDs) {
+			return 0, fmt.Errorf("%w: proc %q -> var %d", ErrBadNeighbor, id, v)
+		}
+	}
+	s.ProcIDs = append(s.ProcIDs, id)
+	s.ProcInit = append(s.ProcInit, init)
+	s.Nbr = append(s.Nbr, append([]int(nil), nbr...))
+	return len(s.ProcIDs) - 1, nil
+}
+
+// Rewire points processor p's binding for name at variable v.
+func (s *System) Rewire(p int, name Name, v int) error {
+	if p < 0 || p >= len(s.ProcIDs) {
+		return fmt.Errorf("%w: proc %d", ErrUnknownNode, p)
+	}
+	if v < 0 || v >= len(s.VarIDs) {
+		return fmt.Errorf("%w: var %d", ErrBadNeighbor, v)
+	}
+	for k, n := range s.Names {
+		if n == name {
+			s.Nbr[p][k] = v
+			return nil
+		}
+	}
+	return fmt.Errorf("%w: %q", ErrUnknownName, name)
+}
+
+// SetProcInit replaces processor p's initial state.
+func (s *System) SetProcInit(p int, init string) error {
+	if p < 0 || p >= len(s.ProcIDs) {
+		return fmt.Errorf("%w: proc %d", ErrUnknownNode, p)
+	}
+	s.ProcInit[p] = init
+	return nil
+}
+
+// SetVarInit replaces variable v's initial value.
+func (s *System) SetVarInit(v int, init string) error {
+	if v < 0 || v >= len(s.VarIDs) {
+		return fmt.Errorf("%w: var %d", ErrUnknownNode, v)
+	}
+	s.VarInit[v] = init
+	return nil
+}
+
+// RemoveVar deletes variable v, renumbering bindings above it. It fails
+// with ErrVarInUse while any processor still binds v.
+func (s *System) RemoveVar(v int) error {
+	if v < 0 || v >= len(s.VarIDs) {
+		return fmt.Errorf("%w: var %d", ErrUnknownNode, v)
+	}
+	for p, row := range s.Nbr {
+		for _, t := range row {
+			if t == v {
+				return fmt.Errorf("%w: var %d by proc %d", ErrVarInUse, v, p)
+			}
+		}
+	}
+	s.VarIDs = append(s.VarIDs[:v], s.VarIDs[v+1:]...)
+	s.VarInit = append(s.VarInit[:v], s.VarInit[v+1:]...)
+	for _, row := range s.Nbr {
+		for k, t := range row {
+			if t > v {
+				row[k] = t - 1
+			}
+		}
+	}
+	return nil
+}
+
+// RemoveProc deletes processor p and cascade-removes any variables left
+// orphaned by its departure, so the result still passes Validate.
+func (s *System) RemoveProc(p int) error {
+	if p < 0 || p >= len(s.ProcIDs) {
+		return fmt.Errorf("%w: proc %d", ErrUnknownNode, p)
+	}
+	s.ProcIDs = append(s.ProcIDs[:p], s.ProcIDs[p+1:]...)
+	s.ProcInit = append(s.ProcInit[:p], s.ProcInit[p+1:]...)
+	s.Nbr = append(s.Nbr[:p], s.Nbr[p+1:]...)
+	used := make([]bool, len(s.VarIDs))
+	for _, row := range s.Nbr {
+		for _, t := range row {
+			used[t] = true
+		}
+	}
+	for v := len(used) - 1; v >= 0; v-- {
+		if !used[v] {
+			if err := s.RemoveVar(v); err != nil {
+				return err
+			}
+		}
+	}
+	return nil
+}

@@ -1,0 +1,108 @@
+package system
+
+import (
+	"errors"
+	"testing"
+)
+
+func TestTreeShape(t *testing.T) {
+	if _, err := Tree(0); !errors.Is(err, ErrShape) {
+		t.Fatalf("Tree(0) err = %v, want ErrShape", err)
+	}
+	s, err := Tree(7)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := s.Validate(); err != nil {
+		t.Fatal(err)
+	}
+	if got := len(s.ProcIDs); got != 7 {
+		t.Fatalf("procs = %d, want 7", got)
+	}
+	// Heap parents: proc 5's "up" binds var 2, proc 0 self-loops.
+	if s.Nbr[5][0] != 2 || s.Nbr[0][0] != 0 {
+		t.Fatalf("unexpected parents: %v", s.Nbr)
+	}
+	if !s.Connected() {
+		t.Fatal("tree not connected")
+	}
+}
+
+func TestMutateRoundTrip(t *testing.T) {
+	s, err := Ring(4)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Splice a new processor between p3 and p0: new var, new proc,
+	// rewire p0's left edge onto the new var.
+	v := s.AddVar("vx", "0")
+	p, err := s.AddProc("px", "0", []int{3, v})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := s.Rewire(0, "left", v); err != nil {
+		t.Fatal(err)
+	}
+	if err := s.Validate(); err != nil {
+		t.Fatalf("after splice: %v", err)
+	}
+	if len(s.ProcIDs) != 5 || p != 4 {
+		t.Fatalf("unexpected splice result: %d procs, p=%d", len(s.ProcIDs), p)
+	}
+
+	// Undo: rewire p0 back, then remove px; its private var vx must be
+	// cascade-removed and the result must be a valid 4-ring again.
+	if err := s.Rewire(0, "left", 3); err != nil {
+		t.Fatal(err)
+	}
+	if err := s.RemoveProc(p); err != nil {
+		t.Fatal(err)
+	}
+	if err := s.Validate(); err != nil {
+		t.Fatalf("after unsplice: %v", err)
+	}
+	if len(s.ProcIDs) != 4 || len(s.VarIDs) != 4 {
+		t.Fatalf("cascade removal failed: %d procs %d vars", len(s.ProcIDs), len(s.VarIDs))
+	}
+
+	if err := s.SetProcInit(1, "hot"); err != nil || s.ProcInit[1] != "hot" {
+		t.Fatalf("SetProcInit: %v", err)
+	}
+	if err := s.SetVarInit(2, "dirty"); err != nil || s.VarInit[2] != "dirty" {
+		t.Fatalf("SetVarInit: %v", err)
+	}
+}
+
+func TestRemoveVarInUse(t *testing.T) {
+	s, err := Ring(3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := s.RemoveVar(1); !errors.Is(err, ErrVarInUse) {
+		t.Fatalf("err = %v, want ErrVarInUse", err)
+	}
+	if err := s.RemoveVar(99); !errors.Is(err, ErrUnknownNode) {
+		t.Fatalf("err = %v, want ErrUnknownNode", err)
+	}
+}
+
+func TestRemoveVarRenumbers(t *testing.T) {
+	s, err := Star(3) // center=0, m0..m2=1..3
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Point p1's "own" at m0 so m1 (var 2) goes unused, then drop it.
+	if err := s.Rewire(1, "own", 1); err != nil {
+		t.Fatal(err)
+	}
+	if err := s.RemoveVar(2); err != nil {
+		t.Fatal(err)
+	}
+	if err := s.Validate(); err != nil {
+		t.Fatal(err)
+	}
+	// p2's own var was m2 (index 3), renumbered down to 2.
+	if s.Nbr[2][1] != 2 || s.VarIDs[2] != "m2" {
+		t.Fatalf("renumbering wrong: Nbr=%v VarIDs=%v", s.Nbr, s.VarIDs)
+	}
+}

@@ -7,6 +7,7 @@ import (
 	"math/rand"
 	"time"
 
+	"simsym/internal/adversary"
 	"simsym/internal/core"
 	"simsym/internal/dining"
 	"simsym/internal/machine"
@@ -209,6 +210,31 @@ func SimilarityOpts(sys *System, rule Rule, opts ...Option) (*Labeling, error) {
 	}
 	o := buildOptions(opts)
 	return core.SimilarityWith(sys, rule, core.Config{Workers: o.Workers, Obs: o.Obs})
+}
+
+// NewDynSystem builds a dynamic similarity engine seeded from sys under
+// the given environment rule: the labeling is maintained incrementally
+// as processors and variables are added, removed, crashed, and rewired
+// through Apply and its convenience wrappers, and Similarity on
+// Snapshot() is always the cross-checked oracle. Recognized options:
+// WithObserver (relabel events and dyn.* counters).
+func NewDynSystem(sys *System, rule Rule, opts ...Option) (*DynSystem, error) {
+	if sys == nil {
+		return nil, fmt.Errorf("%w: NewDynSystem: nil system", ErrBadArgs)
+	}
+	o := buildOptions(opts)
+	return core.NewDynSystem(sys, rule, core.Config{Workers: o.Workers, Obs: o.Obs})
+}
+
+// NewChurn builds a seeded, replayable churn stream over d: each Step
+// applies one join/leave/crash/restart/rewire event and reports the
+// incremental relabel stats. The stream is a deterministic function of
+// (seed, opts, d's population at construction).
+func NewChurn(seed int64, d *DynSystem, copts ChurnOpts) (*Churn, error) {
+	if d == nil {
+		return nil, fmt.Errorf("%w: NewChurn: nil dynamic system", ErrBadArgs)
+	}
+	return adversary.NewChurn(rand.New(rand.NewSource(seed)), d, copts), nil
 }
 
 // DecideOpts solves the selection problem's decision half for the given

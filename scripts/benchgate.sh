@@ -1,5 +1,5 @@
 #!/usr/bin/env bash
-# benchgate.sh — benchstat-style regression gate for the two tentpole
+# benchgate.sh — benchstat-style regression gate for the tentpole
 # benchmarks, compared against the committed baseline in
 # scripts/bench_baseline.txt.
 #
@@ -20,6 +20,7 @@ trap 'rm -f "$OUT"' EXIT
 
 go test -run '^$' -bench 'BenchmarkFingerprint/warm' -benchtime 2000x ./internal/machine/ | tee -a "$OUT"
 go test -run '^$' -bench 'BenchmarkCheckThroughput/seq' -benchtime 10x ./internal/mc/ | tee -a "$OUT"
+go test -run '^$' -bench 'BenchmarkChurnSplice/n=1024$' -benchtime 2000x . | tee -a "$OUT"
 
 awk -v baseline="$BASELINE" '
 / ns\/op/ {

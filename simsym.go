@@ -4,6 +4,7 @@ import (
 	"errors"
 	"fmt"
 
+	"simsym/internal/adversary"
 	"simsym/internal/autgrp"
 	"simsym/internal/core"
 	"simsym/internal/csp"
@@ -12,6 +13,7 @@ import (
 	"simsym/internal/machine"
 	"simsym/internal/mimic"
 	"simsym/internal/msgpass"
+	"simsym/internal/partition"
 	"simsym/internal/randomized"
 	"simsym/internal/sched"
 	"simsym/internal/selection"
@@ -43,6 +45,25 @@ type (
 	Labeling = core.Labeling
 	// Rule selects the environment rule for refinement.
 	Rule = core.Rule
+
+	// DynSystem is a mutable system whose similarity labeling is
+	// maintained incrementally under churn: processors and variables
+	// join, leave, crash, and rewire, and each event relabels only the
+	// classes it invalidates. Build one with NewDynSystem.
+	DynSystem = core.DynSystem
+	// Mutation is one topology edit applied through DynSystem.Apply;
+	// a batch of mutations is one churn event.
+	Mutation = core.Mutation
+	// MutOp selects a Mutation's operation (OpAddProc, OpCrash, ...).
+	MutOp = core.MutOp
+	// UpdateStats profiles one incremental relabel event: slots
+	// touched, classes split and merged, settle rounds.
+	UpdateStats = partition.UpdateStats
+	// Churn is a seeded, replayable stream of topology mutation events
+	// over a DynSystem. Build one with NewChurn.
+	Churn = adversary.Churn
+	// ChurnOpts weights a churn stream's event mix.
+	ChurnOpts = adversary.ChurnOpts
 
 	// Decision is a selection-problem verdict.
 	Decision = selection.Decision
@@ -86,6 +107,19 @@ const (
 	RuleSetS = core.RuleSetS
 )
 
+// Topology mutation operations (DynSystem.Apply vocabulary).
+const (
+	OpAddProc     = core.OpAddProc
+	OpAddVar      = core.OpAddVar
+	OpRemoveProc  = core.OpRemoveProc
+	OpRemoveVar   = core.OpRemoveVar
+	OpRewire      = core.OpRewire
+	OpCrash       = core.OpCrash
+	OpRestart     = core.OpRestart
+	OpSetProcInit = core.OpSetProcInit
+	OpSetVarInit  = core.OpSetVarInit
+)
+
 // Example systems (no parameters to validate, re-exported directly).
 var (
 	// Fig1 builds the paper's Figure 1 (two processors, one variable).
@@ -102,6 +136,15 @@ func Ring(n int) (*System, error) {
 		return nil, fmt.Errorf("%w: Ring(n=%d) needs n >= 1", ErrBadArgs, n)
 	}
 	return system.Ring(n)
+}
+
+// Tree builds a rooted binary tree of n processors: each owns a
+// variable (name "own") and shares its parent's variable (name "up").
+func Tree(n int) (*System, error) {
+	if n < 1 {
+		return nil, fmt.Errorf("%w: Tree(n=%d) needs n >= 1", ErrBadArgs, n)
+	}
+	return system.Tree(n)
 }
 
 // Dining builds the Figure 4 dining table for n philosophers.
